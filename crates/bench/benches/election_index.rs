@@ -1,0 +1,30 @@
+//! Criterion bench for E8 and the refinement-vs-naive ablation: computing the
+//! election index with the partition-refinement engine vs the definitional
+//! view-comparison oracle.
+
+use anet_bench::workloads;
+use anet_views::{election_index, election_index_naive};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_index_refinement");
+    for inst in workloads::bench_graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst.graph, |b, g| {
+            b.iter(|| election_index(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_index_naive");
+    for inst in workloads::bench_graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst.graph, |b, g| {
+            b.iter(|| election_index_naive(g, 6))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement, bench_naive);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The experiment report generator.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p anet-bench --bin report -- all        # every experiment
+//! cargo run -p anet-bench --bin report -- e1 e4      # selected experiments
+//! cargo run -p anet-bench --bin report -- figures    # DOT figures only
+//! ```
+
+use anet_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "figures",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    } else {
+        args
+    };
+
+    for exp in &selected {
+        match exp.as_str() {
+            "e1" => println!("{}", experiments::e1_min_time_advice()),
+            "e2" => println!("{}", experiments::e2_ring_of_cliques_lower_bound()),
+            "e3" => println!("{}", experiments::e3_necklace_lower_bound()),
+            "e4" => println!("{}", experiments::e4_generic_time()),
+            "e5" => println!("{}", experiments::e5_milestones()),
+            "e6" => println!("{}", experiments::e6_lock_families()),
+            "e7" => println!("{}", experiments::e7_hairy_rings()),
+            "e8" => println!("{}", experiments::e8_election_index_vs_bound()),
+            "e10" => println!("{}", experiments::e10_advice_ablation()),
+            "e9" | "figures" => {
+                let dir = std::path::Path::new("target/figures");
+                match experiments::figures(dir) {
+                    Ok(log) => println!("# E9  Construction figures (DOT)\n{log}"),
+                    Err(e) => eprintln!("failed to write figures: {e}"),
+                }
+            }
+            other => eprintln!("unknown experiment id: {other} (expected e1..e10, figures, all)"),
+        }
+    }
+}

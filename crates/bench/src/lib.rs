@@ -1,0 +1,18 @@
+//! # anet-bench
+//!
+//! The experiment harness reproducing every table/figure-level claim of
+//! *Impact of Knowledge on Election Time in Anonymous Networks* (Dieudonné &
+//! Pelc, SPAA 2017). The paper is a theory paper, so its reproducible
+//! artifacts are the theorem bounds and the construction figures; each
+//! experiment below measures the quantity the corresponding theorem bounds
+//! and checks its shape. See `EXPERIMENTS.md` at the repository root for the
+//! recorded results.
+//!
+//! Run `cargo run -p anet-bench --bin report -- all` (or a single experiment
+//! id such as `e1`) to regenerate the tables; `cargo bench` runs the
+//! Criterion timing benchmarks.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod workloads;

@@ -1,0 +1,81 @@
+//! Workload generators shared by the experiments and the Criterion benches.
+
+use anet_graph::{generators, Graph};
+use anet_views::election_index;
+
+/// A named feasible graph instance.
+pub struct Instance {
+    /// Human-readable name used in report tables.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+/// A sweep of feasible graphs of growing size, mixing structured and random
+/// topologies. Only feasible graphs are returned (infeasible candidates are
+/// skipped), so every instance supports the election pipeline.
+pub fn growing_feasible_graphs() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for spine in [4usize, 6, 8, 10, 12] {
+        out.push(Instance {
+            name: format!("caterpillar({spine})"),
+            graph: generators::caterpillar(spine),
+        });
+    }
+    for (clique, tail) in [(4, 4), (6, 6), (8, 8), (10, 10), (14, 10)] {
+        out.push(Instance {
+            name: format!("lollipop({clique},{tail})"),
+            graph: generators::lollipop(clique, tail),
+        });
+    }
+    for (n, seed) in [(20, 1u64), (30, 2), (40, 3), (60, 4), (80, 5)] {
+        out.push(Instance {
+            name: format!("gnp({n},seed={seed})"),
+            graph: generators::random_connected(n, 3.0 / n as f64, seed),
+        });
+    }
+    for (n, seed) in [(20, 11u64), (40, 12), (60, 13)] {
+        out.push(Instance {
+            name: format!("tree({n},seed={seed})"),
+            graph: generators::random_tree(n, seed),
+        });
+    }
+    out.retain(|inst| election_index(&inst.graph).is_some());
+    out
+}
+
+/// A smaller sweep used by the timing benches (kept quick so `cargo bench`
+/// finishes in reasonable time).
+pub fn bench_graphs() -> Vec<Instance> {
+    let mut out = vec![
+        Instance {
+            name: "caterpillar(8)".into(),
+            graph: generators::caterpillar(8),
+        },
+        Instance {
+            name: "lollipop(8,8)".into(),
+            graph: generators::lollipop(8, 8),
+        },
+        Instance {
+            name: "gnp(40)".into(),
+            graph: generators::random_connected(40, 0.08, 7),
+        },
+    ];
+    out.retain(|inst| election_index(&inst.graph).is_some());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_nonempty_and_feasible() {
+        let growing = growing_feasible_graphs();
+        assert!(growing.len() >= 10);
+        for inst in &growing {
+            assert!(election_index(&inst.graph).is_some(), "{}", inst.name);
+        }
+        assert!(!bench_graphs().is_empty());
+    }
+}

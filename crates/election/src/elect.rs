@@ -1,0 +1,178 @@
+//! Algorithm `Elect` (Algorithm 6): minimum-time leader election using the
+//! oracle's advice.
+//!
+//! Every node, given the common advice string:
+//!
+//! 1. decodes `φ`, `E1`, `E2` and the labeled BFS tree,
+//! 2. exchanges views with its neighbors for `φ` rounds (the `COM`
+//!    subroutine), acquiring `B^φ(u)`,
+//! 3. computes its unique label `x = RetrieveLabel(B^φ(u), E1, E2)`,
+//! 4. outputs the port sequence of the unique tree path from the node
+//!    labeled `x` to the node labeled 1 (the leader).
+//!
+//! [`elect_all`] runs this node algorithm on every node through the LOCAL
+//! simulator, verifies the outcome, and reports the election time and advice
+//! size — the two quantities Theorem 3.1 relates.
+
+use anet_graph::{Graph, NodeId, PortPath};
+use anet_sim::{ComNode, SyncRunner};
+use anet_views::AugmentedView;
+
+use crate::advice_build::{compute_advice, decode_advice, Advice, DecodedAdvice};
+use crate::error::ElectionError;
+use crate::labels::retrieve_label;
+use crate::verify::verify_election;
+
+/// The result of a complete minimum-time election run.
+#[derive(Debug, Clone)]
+pub struct ElectionOutcome {
+    /// The elected leader (simulator-level id, recovered by verification).
+    pub leader: NodeId,
+    /// The number of communication rounds used (must equal `φ(G)`).
+    pub time: usize,
+    /// The size of the advice in bits.
+    pub advice_bits: usize,
+    /// The election index of the graph.
+    pub phi: usize,
+    /// Per-node outputs (indexed by simulator node id).
+    pub outputs: Vec<PortPath>,
+}
+
+/// Computes the node output of Algorithm `Elect` from the decoded advice and
+/// the acquired view `B^φ(u)` — the purely local part of the algorithm.
+pub fn elect_output(advice: &DecodedAdvice, view: &AugmentedView) -> PortPath {
+    let x = retrieve_label(view, &advice.e1, &advice.e2);
+    let flat = advice
+        .tree
+        .path_to_root(x)
+        .expect("every label appears in the advice tree");
+    let ports: Vec<usize> = flat.iter().map(|&p| p as usize).collect();
+    PortPath::from_flat(&ports).expect("tree paths have an even number of port entries")
+}
+
+/// Runs the full minimum-time election pipeline on `g`:
+/// `ComputeAdvice` (oracle) → `Elect` on every node (through the LOCAL
+/// simulator) → verification.
+pub fn elect_all(g: &Graph) -> Result<ElectionOutcome, ElectionError> {
+    let advice = compute_advice(g)?;
+    elect_all_with_advice(g, &advice)
+}
+
+/// Like [`elect_all`] but reuses an already computed [`Advice`] (useful for
+/// benchmarking the two phases separately).
+pub fn elect_all_with_advice(g: &Graph, advice: &Advice) -> Result<ElectionOutcome, ElectionError> {
+    // Every node independently decodes the same bit string, exactly as in the
+    // model (the decoded advice is shared here only to avoid re-decoding per
+    // node; decoding is deterministic so the result is identical).
+    let decoded = decode_advice(&advice.bits)?;
+    let phi = decoded.phi;
+
+    let runner = SyncRunner::new(g, phi + 1);
+    let outcome = runner.run(|_degree| {
+        let decoded = decoded.clone();
+        ComNode::new(phi, move |view: &AugmentedView| elect_output(&decoded, view))
+    });
+
+    let mut outputs = Vec::with_capacity(g.num_nodes());
+    for (v, out) in outcome.outputs.iter().enumerate() {
+        match out {
+            Some(path) => outputs.push(path.clone()),
+            None => return Err(ElectionError::NodeDidNotHalt { node: v }),
+        }
+    }
+    let leader = verify_election(g, &outputs)?;
+    let time = outcome.election_time().unwrap_or(0);
+    Ok(ElectionOutcome {
+        leader,
+        time,
+        advice_bits: advice.size_bits(),
+        phi,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+    use anet_views::election_index;
+
+    fn feasible_samples() -> Vec<Graph> {
+        vec![
+            generators::star(4),
+            generators::star(7),
+            generators::caterpillar(4),
+            generators::caterpillar(6),
+            generators::lollipop(4, 3),
+            generators::lollipop(5, 6),
+            generators::random_connected(18, 0.15, 1),
+            generators::random_connected(25, 0.1, 2),
+            generators::random_tree(15, 3),
+            generators::random_tree(20, 9),
+        ]
+        .into_iter()
+        .filter(|g| election_index(g).is_some())
+        .collect()
+    }
+
+    #[test]
+    fn election_succeeds_in_exactly_phi_rounds() {
+        for g in feasible_samples() {
+            let phi = election_index(&g).unwrap();
+            let outcome = elect_all(&g).expect("election must succeed on feasible graphs");
+            assert_eq!(outcome.time, phi, "Theorem 3.1: time equals φ");
+            assert_eq!(outcome.phi, phi);
+        }
+    }
+
+    #[test]
+    fn elected_leader_is_the_advice_root() {
+        for g in feasible_samples() {
+            let advice = compute_advice(&g).unwrap();
+            let outcome = elect_all_with_advice(&g, &advice).unwrap();
+            assert_eq!(outcome.leader, advice.root);
+        }
+    }
+
+    #[test]
+    fn all_outputs_are_simple_paths_to_the_leader() {
+        for g in feasible_samples() {
+            let outcome = elect_all(&g).unwrap();
+            for (v, path) in outcome.outputs.iter().enumerate() {
+                assert!(path.is_simple(&g, v));
+                assert_eq!(path.endpoint(&g, v), Some(outcome.leader));
+            }
+        }
+    }
+
+    #[test]
+    fn election_is_invariant_under_node_relabeling() {
+        // The advice and outcome are functions of the structure only; if we
+        // permute simulator node ids, the elected leader maps through the
+        // permutation.
+        use anet_graph::relabel;
+        let g = generators::lollipop(5, 4);
+        let (h, perm) = relabel::random_node_permutation(&g, 123);
+        let og = elect_all(&g).unwrap();
+        let oh = elect_all(&h).unwrap();
+        assert_eq!(perm[og.leader], oh.leader);
+        assert_eq!(og.time, oh.time);
+        assert_eq!(og.advice_bits, oh.advice_bits);
+    }
+
+    #[test]
+    fn infeasible_graph_fails_cleanly() {
+        assert!(matches!(
+            elect_all(&generators::ring(5)),
+            Err(ElectionError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn star_elects_in_one_round_with_small_advice() {
+        let g = generators::star(6);
+        let outcome = elect_all(&g).unwrap();
+        assert_eq!(outcome.time, 1);
+        assert!(outcome.advice_bits > 0);
+    }
+}

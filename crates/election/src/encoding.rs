@@ -1,0 +1,100 @@
+//! The paper-exact binary code of depth-1 augmented truncated views
+//! (Proposition 3.3).
+//!
+//! > "Consider a node `v` of degree `k`, and call `v_j` the neighbor of `v`
+//! > corresponding to the port `j` at `v`. Let `a_j` be the port at node
+//! > `v_j` corresponding to edge `{v, v_j}`, and let `b_j` be the degree of
+//! > `v_j`. The augmented truncated view `B^1(v)` can be represented as a
+//! > list `((0, a_0, b_0), ..., (k-1, a_{k-1}, b_{k-1}))`."
+//!
+//! The list is encoded with the doubling `Concat` code. This encoding is what
+//! the depth-1 trie queries of the advice refer to ("is the binary
+//! representation of your `B^1` shorter than `t`?", "is its `j`-th bit 1?"),
+//! so the oracle and the nodes must compute it identically — both call
+//! [`bin_b1`].
+
+use anet_advice::{codec, BitString};
+use anet_views::AugmentedView;
+
+/// The paper's binary representation `bin(B^1(v))` of a view of depth at
+/// least 1 (only the depth-1 truncation is encoded).
+///
+/// # Panics
+/// Panics if the view has depth 0 (there is no depth-1 information to encode).
+pub fn bin_b1(view: &AugmentedView) -> BitString {
+    assert!(
+        view.depth() >= 1,
+        "bin(B^1) needs a view of depth at least 1"
+    );
+    let triples: Vec<BitString> = view
+        .children()
+        .iter()
+        .enumerate()
+        .map(|(j, (a_j, sub))| {
+            codec::concat(&[
+                BitString::from_uint(j as u64),
+                BitString::from_uint(*a_j as u64),
+                BitString::from_uint(sub.degree() as u64),
+            ])
+        })
+        .collect();
+    codec::concat(&triples)
+}
+
+/// The length in bits of `bin(B^1(v))`; convenience for Proposition 3.3
+/// measurements.
+pub fn bin_b1_len(view: &AugmentedView) -> usize {
+    bin_b1(view).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn encoding_is_injective_on_depth_one_views() {
+        let g = generators::caterpillar(5);
+        let views = AugmentedView::compute_all(&g, 1);
+        for i in 0..views.len() {
+            for j in 0..views.len() {
+                assert_eq!(
+                    views[i] == views[j],
+                    bin_b1(&views[i]) == bin_b1(&views[j]),
+                    "bin(B^1) must be injective"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_only_depends_on_depth_one_truncation() {
+        let g = generators::lollipop(4, 3);
+        let deep = AugmentedView::compute_all(&g, 3);
+        let shallow = AugmentedView::compute_all(&g, 1);
+        for v in g.nodes() {
+            assert_eq!(bin_b1(&deep[v]), bin_b1(&shallow[v]));
+        }
+    }
+
+    #[test]
+    fn length_is_o_n_log_n() {
+        // Proposition 3.3: |bin(B^1(v))| is O(n log n). The dominant term is
+        // the degree: each of the deg(v) triples costs O(log n) bits.
+        let g = generators::clique(40);
+        let views = AugmentedView::compute_all(&g, 1);
+        let n = g.num_nodes() as f64;
+        for v in g.nodes() {
+            let len = bin_b1_len(&views[v]) as f64;
+            assert!(len <= 40.0 * n * n.log2());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn depth_zero_views_are_rejected() {
+        let g = generators::ring(4);
+        let v = AugmentedView::compute(&g, 0, 0);
+        bin_b1(&v);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the election pipeline.
+
+use std::fmt;
+
+/// Errors produced by advice construction, election execution or outcome
+/// verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionError {
+    /// The graph is infeasible: some nodes have identical (infinite) views,
+    /// so no algorithm can elect a leader even knowing the map.
+    Infeasible,
+    /// The allocated time `τ` is smaller than the election index `φ(G)`, so
+    /// no advice can help (the paper restricts attention to `φ(G) <= τ`).
+    TimeTooSmall {
+        /// The allocated time.
+        allotted: usize,
+        /// The election index of the graph.
+        election_index: usize,
+    },
+    /// The advice bit string could not be decoded.
+    MalformedAdvice(String),
+    /// A node failed to produce an output within the allotted rounds.
+    NodeDidNotHalt {
+        /// The simulator-level identifier of the node (harness bookkeeping).
+        node: usize,
+    },
+    /// A node's output is not a simple path in the graph.
+    OutputNotSimplePath {
+        /// The simulator-level identifier of the node.
+        node: usize,
+    },
+    /// Two nodes elected different leaders.
+    LeadersDisagree {
+        /// A node electing the first leader.
+        node_a: usize,
+        /// The leader elected by `node_a`.
+        leader_a: usize,
+        /// A node electing a different leader.
+        node_b: usize,
+        /// The leader elected by `node_b`.
+        leader_b: usize,
+    },
+}
+
+impl fmt::Display for ElectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElectionError::Infeasible => {
+                write!(f, "graph is infeasible: views of some nodes coincide")
+            }
+            ElectionError::TimeTooSmall {
+                allotted,
+                election_index,
+            } => write!(
+                f,
+                "allotted time {allotted} is smaller than the election index {election_index}"
+            ),
+            ElectionError::MalformedAdvice(msg) => write!(f, "malformed advice: {msg}"),
+            ElectionError::NodeDidNotHalt { node } => {
+                write!(f, "node {node} did not halt within the allotted rounds")
+            }
+            ElectionError::OutputNotSimplePath { node } => {
+                write!(f, "output of node {node} is not a simple path")
+            }
+            ElectionError::LeadersDisagree {
+                node_a,
+                leader_a,
+                node_b,
+                leader_b,
+            } => write!(
+                f,
+                "nodes {node_a} and {node_b} elected different leaders ({leader_a} vs {leader_b})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ElectionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ElectionError::Infeasible.to_string().contains("infeasible"));
+        let e = ElectionError::TimeTooSmall {
+            allotted: 1,
+            election_index: 3,
+        };
+        assert!(e.to_string().contains('1') && e.to_string().contains('3'));
+        let e = ElectionError::LeadersDisagree {
+            node_a: 0,
+            leader_a: 4,
+            node_b: 2,
+            leader_b: 5,
+        };
+        assert!(e.to_string().contains("different leaders"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # anet-election
+//!
+//! The primary contribution of *Impact of Knowledge on Election Time in
+//! Anonymous Networks* (Dieudonné & Pelc, SPAA 2017): deterministic leader
+//! election with advice in anonymous port-labeled networks.
+//!
+//! ## Minimum-time election (Section 3)
+//!
+//! * [`labels`] — the label machinery: `LocalLabel` (Algorithm 2),
+//!   `RetrieveLabel` (Algorithm 3) and `BuildTrie` (Algorithm 4), operating
+//!   on augmented truncated views.
+//! * [`advice_build`] — `ComputeAdvice(G)` (Algorithm 5): the oracle-side
+//!   construction of the `O(n log n)`-bit advice (the election index, the
+//!   discrimination tries `E1`/`E2`, and the labeled canonical BFS tree).
+//! * [`elect`] — Algorithm `Elect` (Algorithm 6): the node-side algorithm
+//!   that exchanges views for `φ` rounds through the LOCAL simulator, labels
+//!   itself with `RetrieveLabel`, and outputs the tree path to the root.
+//!   [`elect_all`] runs the whole pipeline and verifies the outcome.
+//!
+//! ## Election in large time (Section 4)
+//!
+//! * [`generic`] — Algorithm `Generic(x)` (Algorithm 7): election in time at
+//!   most `D + x + 1` for any `x >= φ`, with no advice beyond `x`.
+//! * [`milestones`] — Algorithms `Election1..4` (Algorithm 8 / Theorem 4.1):
+//!   advice of size `O(log φ)`, `O(log log φ)`, `O(log log log φ)`,
+//!   `O(log log* φ)` yielding election in time `D+φ+c`, `D+cφ`, `D+φ^c`,
+//!   `D+c^φ`.
+//!
+//! ## Support
+//!
+//! * [`encoding`] — the paper-exact binary code `bin(B^1(v))`
+//!   (Proposition 3.3) used by the depth-1 trie queries.
+//! * [`baselines`] — reference points: full-map advice and the naive
+//!   view-rank labeling whose cost motivates the trie construction.
+//! * [`verify`] — election-outcome verification (all outputs are simple
+//!   paths ending at a common leader).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advice_build;
+pub mod baselines;
+pub mod elect;
+pub mod encoding;
+pub mod error;
+pub mod generic;
+pub mod labels;
+pub mod milestones;
+pub mod remark;
+pub mod verify;
+
+pub use advice_build::{compute_advice, Advice};
+pub use elect::{elect_all, ElectionOutcome};
+pub use error::ElectionError;
+pub use generic::{generic_elect_all, GenericOutcome};
+pub use milestones::{election_milestone, Milestone, MilestoneOutcome};
+pub use remark::{remark_elect_all, RemarkOutcome};
+pub use verify::verify_election;

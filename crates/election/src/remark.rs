@@ -1,0 +1,173 @@
+//! The `D + φ` algorithm from the remark after Theorem 4.1.
+//!
+//! > "In time `D + φ` it is possible to elect a leader using
+//! > `O(log D + log φ)` bits of advice. Indeed, it suffices to provide the
+//! > nodes with the values of the diameter `D` and of the election index `φ`.
+//! > Equipped with this information, each node `u` learns `B^{D+φ}(u)` in
+//! > time `D + φ`. Then, knowing `D`, it knows that the nodes it sees in this
+//! > view at distance at most `D` represent all nodes of the graph. Knowing
+//! > `φ`, it can reconstruct `B^φ(v)` for each such node, find the node `w`
+//! > whose `B^φ` is lexicographically smallest, and output a shortest path to
+//! > it."
+//!
+//! This sits strictly between the two ends of the spectrum: time `D + φ`
+//! (instead of `D + φ + 1` for `Election1`) at the price of knowing `D`
+//! exactly. As with `Generic`, the node decisions are emulated on the view
+//! quotient (see the module documentation of [`crate::generic`]).
+
+use anet_advice::{codec, BitString};
+use anet_graph::{algo, Graph, NodeId, PortPath};
+use anet_views::{election_index, walks, ViewClasses};
+
+use crate::error::ElectionError;
+use crate::generic::lex_smallest_shortest_path;
+use crate::verify::verify_election;
+
+/// The outcome of the `D + φ` election.
+#[derive(Debug, Clone)]
+pub struct RemarkOutcome {
+    /// The elected leader (the node with the smallest depth-`φ` view).
+    pub leader: NodeId,
+    /// The number of rounds used — exactly `D + φ` for every node.
+    pub time: usize,
+    /// The advice handed to the nodes (`Concat(bin(D), bin(φ))`).
+    pub advice: BitString,
+    /// Per-node outputs.
+    pub outputs: Vec<PortPath>,
+}
+
+impl RemarkOutcome {
+    /// Size of the advice in bits (`O(log D + log φ)`).
+    pub fn advice_bits(&self) -> usize {
+        self.advice.len()
+    }
+}
+
+/// The oracle side: the advice `Concat(bin(D), bin(φ))`.
+pub fn remark_advice(g: &Graph) -> Result<BitString, ElectionError> {
+    let phi = election_index(g).ok_or(ElectionError::Infeasible)?;
+    let d = algo::diameter(g);
+    Ok(codec::concat(&[
+        BitString::from_uint(d as u64),
+        BitString::from_uint(phi as u64),
+    ]))
+}
+
+/// Decodes the advice back into `(D, φ)`.
+pub fn decode_remark_advice(bits: &BitString) -> Result<(usize, usize), ElectionError> {
+    let parts = codec::decode(bits).map_err(|e| ElectionError::MalformedAdvice(e.to_string()))?;
+    if parts.len() != 2 {
+        return Err(ElectionError::MalformedAdvice(format!(
+            "expected 2 integers, found {} parts",
+            parts.len()
+        )));
+    }
+    let d = parts[0]
+        .to_uint()
+        .ok_or_else(|| ElectionError::MalformedAdvice("bad diameter".into()))? as usize;
+    let phi = parts[1]
+        .to_uint()
+        .ok_or_else(|| ElectionError::MalformedAdvice("bad election index".into()))? as usize;
+    Ok((d, phi))
+}
+
+/// Runs the `D + φ` election on every node of `g` and verifies the outcome.
+pub fn remark_elect_all(g: &Graph) -> Result<RemarkOutcome, ElectionError> {
+    let advice = remark_advice(g)?;
+    let (d, phi) = decode_remark_advice(&advice)?;
+    let classes = ViewClasses::compute(g, phi);
+    let time = d + phi;
+
+    let mut outputs = Vec::with_capacity(g.num_nodes());
+    for u in g.nodes() {
+        // After D + φ rounds, the nodes at distance <= D in B^{D+φ}(u) are
+        // all nodes of the graph, and their depth-φ views are visible.
+        let ball = walks::reach_within(g, u, d);
+        debug_assert!(ball.iter().all(|&m| m), "the D-ball covers the graph");
+        let w = g
+            .nodes()
+            .min_by_key(|&v| classes.class_of(phi, v))
+            .expect("graphs are non-empty");
+        outputs.push(lex_smallest_shortest_path(g, u, w));
+    }
+    let leader = verify_election(g, &outputs)?;
+    Ok(RemarkOutcome {
+        leader,
+        time,
+        advice,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    fn samples() -> Vec<Graph> {
+        vec![
+            generators::star(5),
+            generators::caterpillar(5),
+            generators::lollipop(6, 6),
+            generators::random_connected(25, 0.1, 3),
+            generators::random_tree(18, 4),
+        ]
+        .into_iter()
+        .filter(|g| election_index(g).is_some())
+        .collect()
+    }
+
+    #[test]
+    fn remark_election_succeeds_in_d_plus_phi_rounds() {
+        for g in samples() {
+            let outcome = remark_elect_all(&g).unwrap();
+            let d = algo::diameter(&g);
+            let phi = election_index(&g).unwrap();
+            assert_eq!(outcome.time, d + phi);
+            for (v, p) in outcome.outputs.iter().enumerate() {
+                assert!(p.is_simple(&g, v));
+                assert_eq!(p.endpoint(&g, v), Some(outcome.leader));
+            }
+        }
+    }
+
+    #[test]
+    fn remark_advice_is_logarithmic() {
+        for g in samples() {
+            let advice = remark_advice(&g).unwrap();
+            let d = algo::diameter(&g) as f64;
+            let phi = election_index(&g).unwrap() as f64;
+            // Concat doubles the bits and adds a 2-bit separator.
+            let bound = 2.0 * (d.log2() + phi.log2() + 4.0) + 2.0;
+            assert!((advice.len() as f64) <= bound);
+        }
+    }
+
+    #[test]
+    fn remark_advice_roundtrips() {
+        for g in samples() {
+            let advice = remark_advice(&g).unwrap();
+            let (d, phi) = decode_remark_advice(&advice).unwrap();
+            assert_eq!(d, algo::diameter(&g));
+            assert_eq!(phi, election_index(&g).unwrap());
+        }
+    }
+
+    #[test]
+    fn remark_and_generic_elect_the_same_leader() {
+        // Both elect the node with the lexicographically smallest depth-φ
+        // view, so the leaders coincide.
+        for g in samples() {
+            let phi = election_index(&g).unwrap();
+            let a = remark_elect_all(&g).unwrap();
+            let b = crate::generic::generic_elect_all(&g, phi).unwrap();
+            assert_eq!(a.leader, b.leader);
+        }
+    }
+
+    #[test]
+    fn malformed_remark_advice_is_rejected() {
+        assert!(decode_remark_advice(&BitString::from_uint(5)).is_err());
+        assert!(remark_elect_all(&generators::ring(5)).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Election-outcome verification.
+//!
+//! The task specification of the paper: every node outputs a sequence of port
+//! numbers whose corresponding path, followed from that node, must be a
+//! *simple* path in the graph, and all these paths must end at a common node
+//! (the leader). This module checks that contract and reports the first
+//! violated condition.
+
+use anet_graph::{Graph, NodeId, PortPath};
+
+use crate::error::ElectionError;
+
+/// Verifies that `outputs[v]` is a valid election output for every node `v`
+/// and that all outputs elect the same leader; returns the leader.
+pub fn verify_election(g: &Graph, outputs: &[PortPath]) -> Result<NodeId, ElectionError> {
+    assert_eq!(
+        outputs.len(),
+        g.num_nodes(),
+        "one output per node is required"
+    );
+    let mut leader: Option<(NodeId, NodeId)> = None; // (electing node, leader)
+    for (v, path) in outputs.iter().enumerate() {
+        if !path.is_simple(g, v) {
+            return Err(ElectionError::OutputNotSimplePath { node: v });
+        }
+        let end = path
+            .endpoint(g, v)
+            .ok_or(ElectionError::OutputNotSimplePath { node: v })?;
+        match leader {
+            None => leader = Some((v, end)),
+            Some((first_node, first_leader)) if first_leader == end => {
+                let _ = first_node;
+            }
+            Some((first_node, first_leader)) => {
+                return Err(ElectionError::LeadersDisagree {
+                    node_a: first_node,
+                    leader_a: first_leader,
+                    node_b: v,
+                    leader_b: end,
+                })
+            }
+        }
+    }
+    Ok(leader.expect("graphs have at least one node").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::{algo, generators};
+
+    #[test]
+    fn accepts_agreeing_shortest_paths() {
+        let g = generators::lollipop(4, 3);
+        let outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 2))
+            .collect();
+        assert_eq!(verify_election(&g, &outputs).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_disagreeing_leaders() {
+        let g = generators::path(4);
+        let mut outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 1))
+            .collect();
+        outputs[3] = algo::shortest_path_ports(&g, 3, 2);
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert!(matches!(err, ElectionError::LeadersDisagree { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_port_sequences() {
+        let g = generators::path(3);
+        let mut outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 0))
+            .collect();
+        outputs[2] = PortPath::from_flat(&[9, 9]).unwrap();
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert_eq!(err, ElectionError::OutputNotSimplePath { node: 2 });
+    }
+
+    #[test]
+    fn rejects_non_simple_paths() {
+        let g = generators::ring(4);
+        // Everyone elects node 0 via a shortest path, except node 2 which
+        // walks all the way around (repeating itself).
+        let mut outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 0))
+            .collect();
+        let walk: Vec<usize> = vec![2, 3, 0, 1, 2];
+        outputs[2] = anet_graph::path::port_path_of_node_sequence(&g, &walk).unwrap();
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert_eq!(err, ElectionError::OutputNotSimplePath { node: 2 });
+    }
+}

@@ -1,0 +1,164 @@
+//! The clique family `F(x)` of Section 3.
+//!
+//! For `x >= 2`, `F(x) = {C_1, ..., C_y}` with `y = (x-1)^x` is a family of
+//! `(x+1)`-node cliques over nodes `r, v_0, ..., v_{x-1}`:
+//!
+//! * in the base clique `C`, the port at `r` on the edge `{r, v_i}` is `i`;
+//!   the remaining ports are assigned deterministically,
+//! * the clique `C_t` corresponding to a sequence `(h_0, ..., h_{x-1})` of
+//!   integers from `{1, ..., x-1}` is obtained from `C` by replacing every
+//!   port `p` at node `v_j` with `(p + h_j) mod x`.
+//!
+//! Two different cliques of the family have, at some node `v_j`, different
+//! reverse ports on their edges to `r`, which is what the lower-bound proofs
+//! exploit. The family is exponentially large, so members are constructed on
+//! demand from their index.
+
+use anet_graph::{relabel, Graph, GraphBuilder, NodeId};
+
+/// The number of members of `F(x)`: `(x-1)^x` (saturating).
+pub fn family_f_size(x: usize) -> u64 {
+    assert!(x >= 2);
+    let base = (x - 1) as u64;
+    let mut out: u64 = 1;
+    for _ in 0..x {
+        out = out.saturating_mul(base);
+    }
+    out
+}
+
+/// The paper's choice of `x` as a function of the ring size `k`:
+/// `x = ⌈2 log k / log log k⌉`, clamped to at least 3 so the family is
+/// non-trivial for the small `k` used in experiments.
+pub fn recommended_x(k: usize) -> usize {
+    let kf = k as f64;
+    let x = (2.0 * kf.log2() / kf.log2().log2().max(1.0)).ceil() as usize;
+    x.max(3)
+}
+
+/// Node identifiers inside a member of `F(x)`: node 0 is `r`, node `1 + j`
+/// is `v_j`.
+pub const R_NODE: NodeId = 0;
+
+/// Builds the member `C_{t+1}` of `F(x)` (0-based `t < (x-1)^x`).
+///
+/// # Panics
+/// Panics if `x < 2` or `t >= (x-1)^x`.
+pub fn clique_f(x: usize, t: u64) -> Graph {
+    assert!(x >= 2, "F(x) requires x >= 2");
+    assert!(t < family_f_size(x), "index {t} out of range for F({x})");
+    let base = base_clique(x);
+    let shifts = shift_sequence(x, t);
+    let targets: Vec<NodeId> = (0..x).map(|j| 1 + j).collect();
+    relabel::shift_ports_at(&base, &targets, move |v| shifts[v - 1])
+}
+
+/// The `t`-th sequence `(h_0, ..., h_{x-1})` with `h_j ∈ {1, ..., x-1}`,
+/// enumerated as base-`(x-1)` digits of `t` plus one.
+pub fn shift_sequence(x: usize, t: u64) -> Vec<usize> {
+    let base = (x - 1) as u64;
+    let mut digits = Vec::with_capacity(x);
+    let mut rest = t;
+    for _ in 0..x {
+        digits.push((rest % base) as usize + 1);
+        rest /= base;
+    }
+    digits
+}
+
+/// The base clique `C`: port `i` at `r` for the edge `{r, v_i}`, remaining
+/// ports assigned by insertion order (deterministic).
+fn base_clique(x: usize) -> Graph {
+    let mut b = GraphBuilder::new(x + 1);
+    for i in 0..x {
+        // Port i at r; the port at v_i is assigned automatically.
+        b.add_edge_port_at_u(R_NODE, i, 1 + i).unwrap();
+    }
+    for j in 0..x {
+        for k in (j + 1)..x {
+            b.add_edge_auto(1 + j, 1 + k).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::AugmentedView;
+
+    #[test]
+    fn family_size_matches_formula() {
+        assert_eq!(family_f_size(2), 1);
+        assert_eq!(family_f_size(3), 8);
+        assert_eq!(family_f_size(4), 81);
+    }
+
+    #[test]
+    fn members_are_cliques_with_canonical_r_ports() {
+        for t in 0..family_f_size(3) {
+            let g = clique_f(3, t);
+            assert_eq!(g.num_nodes(), 4);
+            assert_eq!(g.num_edges(), 6);
+            assert!(g.is_regular());
+            // Port i at r still leads to v_i (shifting only changes ports at
+            // the v_j side).
+            for i in 0..3 {
+                assert_eq!(g.neighbor(R_NODE, i).0, 1 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_members_are_distinct_graphs() {
+        let x = 3;
+        let members: Vec<Graph> = (0..family_f_size(x)).map(|t| clique_f(x, t)).collect();
+        for i in 0..members.len() {
+            for j in 0..i {
+                assert_ne!(members[i], members[j], "members {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_members_have_distinct_views_at_r() {
+        // The property the lower bound needs: even the depth-1 view *at r*
+        // separates family members, because some v_j answers with a different
+        // reverse port.
+        let x = 3;
+        let views: Vec<AugmentedView> = (0..family_f_size(x))
+            .map(|t| AugmentedView::compute(&clique_f(x, t), R_NODE, 1))
+            .collect();
+        for i in 0..views.len() {
+            for j in 0..i {
+                assert_ne!(views[i], views[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_sequence_enumerates_all_tuples() {
+        let x = 3;
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 0..family_f_size(x) {
+            let s = shift_sequence(x, t);
+            assert_eq!(s.len(), x);
+            assert!(s.iter().all(|&h| (1..x).contains(&h)));
+            seen.insert(s);
+        }
+        assert_eq!(seen.len() as u64, family_f_size(x));
+    }
+
+    #[test]
+    fn recommended_x_is_monotone_enough() {
+        assert!(recommended_x(8) >= 3);
+        assert!(recommended_x(216) >= recommended_x(8));
+        assert!(recommended_x(1 << 16) >= recommended_x(216));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        clique_f(3, family_f_size(3));
+    }
+}

@@ -1,0 +1,235 @@
+//! Hairy rings, stretches and the Proposition 4.1 gadget (Fig. 9).
+//!
+//! A *hairy ring* is a ring `R_n` (ports 0, 1 in clockwise order) with a star
+//! `S_k` attached to every ring node (the star's central node is identified
+//! with the ring node), such that the largest attached star is unique — which
+//! makes the graph feasible (unique node of maximum degree).
+//!
+//! Proposition 4.1 cuts a hairy ring open, chains γ copies of the cut into a
+//! long *stretch*, and closes everything with a large star so that, deep
+//! inside the stretch, nodes cannot tell the composed graph from the original
+//! ring — the coincidence of views that makes constant-size advice
+//! insufficient for leader election, no matter the allocated time.
+//!
+//! All generators here return fully composed, valid port-labeled graphs (the
+//! intermediate "cut" of the paper, which has a dangling port, only exists
+//! implicitly inside the stretch builders).
+
+use anet_graph::{Graph, GraphBuilder, NodeId};
+
+/// Builds the hairy ring over a ring of size `star_sizes.len()` where ring
+/// node `i` carries a star with `star_sizes[i]` leaves (`0` = no star).
+///
+/// Ring node `i` is node `i`; star leaves get fresh identifiers after the
+/// ring nodes.
+///
+/// # Panics
+/// Panics if the ring has fewer than 3 nodes or if the maximum star size is
+/// not unique (the graph would not be guaranteed feasible).
+pub fn hairy_ring(star_sizes: &[usize]) -> Graph {
+    let n = star_sizes.len();
+    assert!(n >= 3, "the ring needs at least 3 nodes");
+    let max = *star_sizes.iter().max().unwrap();
+    assert_eq!(
+        star_sizes.iter().filter(|&&s| s == max).count(),
+        1,
+        "the largest star must be unique"
+    );
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge_with_ports(i, 0, (i + 1) % n, 1).unwrap();
+    }
+    attach_stars(&mut b, star_sizes, 0);
+    b.build().unwrap()
+}
+
+/// The γ-fold *unrolled ring*: the cyclic graph obtained by chaining γ copies
+/// of the cut hairy ring and re-closing the cycle. Equivalently, a ring of
+/// size `γ · n` whose star pattern repeats every `n` nodes.
+///
+/// This is the "large graph" a bounded-time algorithm cannot distinguish from
+/// the original hairy ring when standing far from any distinguishing feature.
+/// Note that the repetition makes the graph vertex-symmetric under rotation
+/// by `n`, hence **infeasible** — which is fine: it serves as the confusion
+/// witness, not as an election instance.
+pub fn unrolled_ring(star_sizes: &[usize], gamma: usize) -> Graph {
+    assert!(gamma >= 2);
+    let n = star_sizes.len();
+    assert!(n >= 3);
+    let total = n * gamma;
+    let mut b = GraphBuilder::new(total);
+    for i in 0..total {
+        b.add_edge_with_ports(i, 0, (i + 1) % total, 1).unwrap();
+    }
+    let repeated: Vec<usize> = (0..total).map(|i| star_sizes[i % n]).collect();
+    attach_stars(&mut b, &repeated, 0);
+    b.build().unwrap()
+}
+
+/// The Proposition 4.1 gadget built from a single hairy ring: γ copies of the
+/// cut at ring node `w` are chained into a stretch, and both ends of the
+/// stretch are attached to the central node of a fresh star with `hub_leaves`
+/// leaves (the paper's γ-star). With `hub_leaves` larger than every attached
+/// star, the composed graph has a unique node of maximum degree and is
+/// therefore feasible — yet it contains long regions locally identical to the
+/// original ring.
+///
+/// Returns the graph together with the ids of the hub and of the first node
+/// of each copy (the nodes playing the role of the "foci" in the proof).
+pub fn stretched_gadget(
+    star_sizes: &[usize],
+    w: usize,
+    gamma: usize,
+    hub_leaves: usize,
+) -> (Graph, NodeId, Vec<NodeId>) {
+    let n = star_sizes.len();
+    assert!(n >= 3 && w < n && gamma >= 2);
+    assert!(
+        hub_leaves > star_sizes.iter().copied().max().unwrap() + 2,
+        "the hub star must dominate every attached star"
+    );
+    // Copy c occupies node ids [c * n, (c+1) * n) for its ring nodes; star
+    // leaves are appended afterwards (ids do not matter).
+    let total_ring = n * gamma;
+    let mut b = GraphBuilder::new(total_ring);
+    // Ring edges inside each copy: the cut removes the edge entering `w`
+    // (i.e. the edge {w - 1, w}), so we add all edges {i, i+1} of the copy
+    // except the wrap-around into `w`.
+    let local = |c: usize, i: usize| c * n + (w + i) % n; // i-th node of copy c, starting at w
+    for c in 0..gamma {
+        for i in 0..n - 1 {
+            let u = local(c, i);
+            let v = local(c, i + 1);
+            b.add_edge_with_ports(u, 0, v, 1).unwrap();
+        }
+    }
+    // Chain consecutive copies: last node of copy c (which is w - 1 of that
+    // copy, missing its clockwise port 0) to the first node of copy c + 1
+    // (which is w, missing its counter-clockwise port 1).
+    for c in 0..gamma - 1 {
+        let last = local(c, n - 1);
+        let first = local(c + 1, 0);
+        b.add_edge_with_ports(last, 0, first, 1).unwrap();
+    }
+    // The hub: a fresh node joined to the first node of the stretch (filling
+    // its port 1) and to the last node of the stretch (filling its port 0),
+    // plus `hub_leaves` pendant leaves.
+    let hub = b.add_nodes(1);
+    let stretch_first = local(0, 0);
+    let stretch_last = local(gamma - 1, n - 1);
+    b.add_edge_with_ports(stretch_first, 1, hub, 0).unwrap();
+    b.add_edge_with_ports(stretch_last, 0, hub, 1).unwrap();
+    let first_leaf = b.add_nodes(hub_leaves);
+    for leaf in first_leaf..first_leaf + hub_leaves {
+        b.add_edge_auto(hub, leaf).unwrap();
+    }
+    // Stars on every ring node of every copy.
+    let repeated: Vec<usize> = (0..total_ring)
+        .map(|id| star_sizes[id % n])
+        .collect();
+    attach_stars(&mut b, &repeated, 0);
+    let copy_firsts = (0..gamma).map(|c| local(c, 0)).collect();
+    (b.build().unwrap(), hub, copy_firsts)
+}
+
+/// Attaches a star of `sizes[i]` leaves to node `offset + i` for every `i`.
+fn attach_stars(b: &mut GraphBuilder, sizes: &[usize], offset: usize) {
+    for (i, &k) in sizes.iter().enumerate() {
+        if k == 0 {
+            continue;
+        }
+        let first = b.add_nodes(k);
+        for leaf in first..first + k {
+            b.add_edge_auto(offset + i, leaf).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::{election_index, AugmentedView};
+
+    fn sizes() -> Vec<usize> {
+        vec![1, 0, 2, 0, 3, 0]
+    }
+
+    #[test]
+    fn hairy_ring_is_feasible() {
+        let g = hairy_ring(&sizes());
+        assert!(election_index(&g).is_some());
+        let max_deg = g.max_degree();
+        assert_eq!(g.nodes().filter(|&v| g.degree(v) == max_deg).count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ambiguous_maximum_star_is_rejected() {
+        hairy_ring(&[2, 2, 0]);
+    }
+
+    #[test]
+    fn unrolled_ring_repeats_the_pattern_and_is_infeasible() {
+        let g = unrolled_ring(&sizes(), 3);
+        assert_eq!(
+            g.nodes().filter(|&v| g.degree(v) >= 3).count(),
+            3 * sizes().iter().filter(|&&s| s > 0).count()
+        );
+        assert!(election_index(&g).is_none(), "rotation symmetry");
+    }
+
+    #[test]
+    fn interior_nodes_cannot_distinguish_ring_from_unrolled_ring() {
+        // The confusion at the heart of Proposition 4.1: for any depth
+        // smaller than what it takes to walk around the small ring, the view
+        // of ring node i equals the view of the corresponding node of the
+        // unrolled ring.
+        let sizes = sizes();
+        let ring = hairy_ring(&sizes);
+        let unrolled = unrolled_ring(&sizes, 4);
+        for depth in 0..3 {
+            for i in 0..sizes.len() {
+                let a = AugmentedView::compute(&ring, i, depth);
+                let b = AugmentedView::compute(&unrolled, i + sizes.len(), depth);
+                assert_eq!(a, b, "node {i} depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn stretched_gadget_is_feasible_and_locally_ring_like() {
+        let sizes = sizes();
+        let (g, hub, copy_firsts) = stretched_gadget(&sizes, 0, 4, 8);
+        assert!(g.is_connected());
+        assert!(election_index(&g).is_some(), "the hub breaks all symmetry");
+        assert_eq!(g.degree(hub), 8 + 2);
+        assert_eq!(copy_firsts.len(), 4);
+        // A node in the middle of the stretch, far from the hub, has the same
+        // small-depth view as its counterpart in the plain hairy ring.
+        let ring = hairy_ring(&sizes);
+        let mid = copy_firsts[2];
+        for depth in 0..3 {
+            assert_eq!(
+                AugmentedView::compute(&ring, 0, depth),
+                AugmentedView::compute(&g, mid, depth),
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_foci_of_the_gadget_share_deep_views() {
+        // The two "foci" used in the proof: first nodes of interior copies
+        // have identical views up to a depth proportional to the copy size,
+        // so a bounded-time algorithm must give them identical outputs —
+        // which cannot both be simple paths to a common leader when they are
+        // far apart.
+        let sizes = sizes();
+        let (g, _hub, copy_firsts) = stretched_gadget(&sizes, 0, 6, 8);
+        let depth = sizes.len() - 1;
+        let a = AugmentedView::compute(&g, copy_firsts[2], depth);
+        let b = AugmentedView::compute(&g, copy_firsts[3], depth);
+        assert_eq!(a, b);
+        assert!(anet_graph::algo::distance(&g, copy_firsts[2], copy_firsts[3]) >= sizes.len());
+    }
+}

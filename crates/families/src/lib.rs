@@ -1,0 +1,44 @@
+//! # anet-families
+//!
+//! The graph families used by the lower-bound proofs of *Impact of Knowledge
+//! on Election Time in Anonymous Networks* (Dieudonné & Pelc, SPAA 2017),
+//! implemented as executable generators:
+//!
+//! * [`cliques_f`] — the family `F(x)` of `(x+1)`-node cliques obtained by
+//!   per-node cyclic port shifts (the building block of both Section 3 lower
+//!   bounds),
+//! * [`ring_of_cliques`] — the graphs `H_k` and the family `G_k` of
+//!   Theorem 3.2 (Fig. 1): a `k`-ring with a distinct `F(x)` clique attached
+//!   to every ring node; election index 1, advice `Ω(n log log n)`,
+//! * [`necklace`] — the `k`-necklaces `M_k` / `N_k` of Theorem 3.3 (Fig. 2):
+//!   joints, diamonds, emeralds and two pendant chains; election index
+//!   exactly `φ`, advice `Ω(n (log log n)² / log n)`,
+//! * [`locks`] — the `z`-locks of Fig. 3 and the first family `S_0`/`T_0` of
+//!   the Theorem 4.2 induction (two locks joined by a chain of cliques),
+//! * [`pruned`] — pruned views `PV_G(u, P, l)` realized as graph gadgets and
+//!   the lock transformation `T(L)` used by the merge operation of
+//!   Theorem 4.2,
+//! * [`hairy_ring`] — the hairy rings, cuts and γ-stretches of
+//!   Proposition 4.1 (Fig. 9), showing that constant advice never suffices.
+//!
+//! Each generator returns ordinary [`anet_graph::Graph`] values, so the
+//! election algorithms and the view/election-index machinery run on them
+//! unchanged; the experiment harness uses them to check the *shape* of the
+//! lower bounds (how many distinct pieces of advice a family forces).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cliques_f;
+pub mod hairy_ring;
+pub mod locks;
+pub mod necklace;
+pub mod pruned;
+pub mod ring_of_cliques;
+
+pub use cliques_f::{clique_f, family_f_size, recommended_x};
+pub use hairy_ring::{hairy_ring, stretched_gadget, unrolled_ring};
+pub use locks::{lock_chain_graph, z_lock, ZLock};
+pub use necklace::{necklace, necklace_base, NecklaceParams};
+pub use pruned::{pruned_view_gadget, PrunedViewGadget};
+pub use ring_of_cliques::{ring_of_cliques, ring_of_cliques_base};

@@ -1,0 +1,215 @@
+//! The `z`-locks of Fig. 3 and the first family of the Theorem 4.2 induction.
+//!
+//! A `z`-lock (`z >= 4`) is a 3-cycle with ports 0, 1 in clockwise order at
+//! each node, with a clique of size `z` attached to one cycle node (by
+//! identification). Its **central node** is the unique node of degree
+//! `z + 1`; its **principal node** is the cycle node reached from the central
+//! node through port 0.
+//!
+//! The graphs of the initial sequence `S_0` of the Theorem 4.2 induction
+//! (Fig. 5) are of the form `L_1 * M * L_2`: a left lock, a right (larger)
+//! lock, and a chain of `α + c + 2` edges between their central nodes whose
+//! interior nodes each carry a clique of a distinct size — making every
+//! augmented view distinct already at depth 1 (Claim 4.1).
+
+use anet_graph::{Graph, GraphBuilder, NodeId};
+
+/// A constructed `z`-lock together with its distinguished nodes.
+#[derive(Debug, Clone)]
+pub struct ZLock {
+    /// The lock graph itself.
+    pub graph: Graph,
+    /// The central node (degree `z + 1`).
+    pub central: NodeId,
+    /// The principal node (cycle node on port 0 of the central node).
+    pub principal: NodeId,
+    /// The parameter `z`.
+    pub z: usize,
+}
+
+/// Builds a `z`-lock (`z >= 4`).
+///
+/// Node layout: 0 is the central node, 1 and 2 are the other two cycle nodes
+/// (1 = principal node), `3..z + 2` are the non-identified clique nodes.
+pub fn z_lock(z: usize) -> ZLock {
+    assert!(z >= 4, "a z-lock needs z >= 4");
+    let mut b = GraphBuilder::new(z + 2);
+    // The 3-cycle with ports 0, 1 in clockwise order at each node:
+    // 0 --(0,1)--> 1 --(0,1)--> 2 --(0,1)--> 0.
+    b.add_edge_with_ports(0, 0, 1, 1).unwrap();
+    b.add_edge_with_ports(1, 0, 2, 1).unwrap();
+    b.add_edge_with_ports(2, 0, 0, 1).unwrap();
+    // The clique of size z: node 0 plus nodes 3..z+2 (z - 1 of them).
+    let clique: Vec<NodeId> = std::iter::once(0).chain(3..z + 2).collect();
+    for i in 0..clique.len() {
+        for j in (i + 1)..clique.len() {
+            b.add_edge_auto(clique[i], clique[j]).unwrap();
+        }
+    }
+    let graph = b.build().unwrap();
+    debug_assert_eq!(graph.degree(0), z + 1);
+    ZLock {
+        graph,
+        central: 0,
+        principal: 1,
+        z,
+    }
+}
+
+/// A graph of the initial family `S_0` of Theorem 4.2 (Fig. 5), together
+/// with its distinguished nodes.
+#[derive(Debug, Clone)]
+pub struct LockChainGraph {
+    /// The graph `L_1 * M * L_2`.
+    pub graph: Graph,
+    /// The left principal node.
+    pub left_principal: NodeId,
+    /// The right principal node.
+    pub right_principal: NodeId,
+    /// Size parameter of the left lock.
+    pub left_z: usize,
+    /// Size parameter of the right lock.
+    pub right_z: usize,
+}
+
+/// Builds the `i`-th graph of the family `S_0(α, c)` (Fig. 5): a left
+/// `x_i`-lock and a right `(x_i + 2(α + c + 2))`-lock whose central nodes are
+/// joined by a chain of `α + c + 1` interior nodes, the `j`-th interior node
+/// carrying a clique of size `x_i + 2j`.
+///
+/// All graphs of the family have election index 1 (Claim 4.1), the same
+/// diameter for fixed `(α, c)`, and pairwise disjoint degree palettes (so any
+/// two nodes of two different members have different depth-1 views —
+/// property 13).
+pub fn lock_chain_graph(alpha: usize, c: usize, i: usize) -> LockChainGraph {
+    assert!(c >= 1);
+    let span = alpha + c + 2;
+    let x_i = 4 + 2 * i * span + i;
+    let left = z_lock(x_i);
+    let right = z_lock(x_i + 2 * span);
+
+    // Compose: left lock nodes keep their ids; chain interior nodes and their
+    // cliques follow; right lock nodes come last.
+    let mut b = GraphBuilder::new(left.graph.num_nodes());
+    for (u, pu, v, pv) in left.graph.edges() {
+        b.add_edge_with_ports(u, pu, v, pv).unwrap();
+    }
+    // Chain interior nodes w_1..w_{alpha+c+1}, each with an attached clique of
+    // size x_i + 2j (the clique shares node w_j).
+    let mut chain_nodes = Vec::new();
+    for j in 1..=span - 1 {
+        let w = b.add_nodes(1);
+        chain_nodes.push(w);
+        let clique_size = x_i + 2 * j;
+        let first_extra = b.add_nodes(clique_size - 1);
+        let members: Vec<NodeId> = std::iter::once(w)
+            .chain(first_extra..first_extra + clique_size - 1)
+            .collect();
+        for a in 0..members.len() {
+            for bidx in (a + 1)..members.len() {
+                b.add_edge_auto(members[a], members[bidx]).unwrap();
+            }
+        }
+    }
+    // Right lock appended with an id offset.
+    let right_offset = b.add_nodes(right.graph.num_nodes());
+    for (u, pu, v, pv) in right.graph.edges() {
+        b.add_edge_with_ports(right_offset + u, pu, right_offset + v, pv)
+            .unwrap();
+    }
+    // The chain edges: left central — w_1 — ... — w_{span-1} — right central.
+    let mut prev = left.central;
+    for &w in &chain_nodes {
+        b.add_edge_auto(prev, w).unwrap();
+        prev = w;
+    }
+    b.add_edge_auto(prev, right_offset + right.central).unwrap();
+
+    LockChainGraph {
+        graph: b.build().unwrap(),
+        left_principal: left.principal,
+        right_principal: right_offset + right.principal,
+        left_z: x_i,
+        right_z: x_i + 2 * span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::algo;
+    use anet_views::{election_index, AugmentedView};
+
+    #[test]
+    fn z_lock_structure() {
+        let lock = z_lock(5);
+        let g = &lock.graph;
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.degree(lock.central), 6);
+        assert_eq!(g.degree(lock.principal), 2);
+        // The principal node is reached from the central node through port 0.
+        assert_eq!(g.neighbor(lock.central, 0).0, lock.principal);
+        // The third cycle node also has degree 2.
+        assert_eq!(g.degree(2), 2);
+        // Clique nodes have degree z - 1.
+        assert_eq!(g.degree(3), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_lock_is_rejected() {
+        z_lock(3);
+    }
+
+    #[test]
+    fn lock_chain_graphs_have_election_index_one() {
+        // Claim 4.1.
+        for i in 0..2 {
+            let lc = lock_chain_graph(2, 2, i);
+            assert_eq!(election_index(&lc.graph), Some(1), "member {i}");
+        }
+    }
+
+    #[test]
+    fn lock_chain_diameter_is_constant_across_members() {
+        // Property 4 of the induction: all members of T_0 share a diameter.
+        let d0 = algo::diameter(&lock_chain_graph(2, 2, 0).graph);
+        let d1 = algo::diameter(&lock_chain_graph(2, 2, 1).graph);
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn principal_nodes_realize_the_diameter() {
+        // Property 10: the two principal nodes are at distance equal to the
+        // diameter.
+        let lc = lock_chain_graph(2, 2, 0);
+        let d = algo::diameter(&lc.graph);
+        assert_eq!(
+            algo::distance(&lc.graph, lc.left_principal, lc.right_principal),
+            d
+        );
+    }
+
+    #[test]
+    fn different_members_have_disjoint_depth_one_views() {
+        // Property 13 for T_0: any node of one member and any node of another
+        // have different depth-1 views (their degree palettes are disjoint by
+        // construction).
+        let a = lock_chain_graph(2, 2, 0);
+        let b = lock_chain_graph(2, 2, 1);
+        let va = AugmentedView::compute_all(&a.graph, 1);
+        let vb = AugmentedView::compute_all(&b.graph, 1);
+        for x in &va {
+            for y in &vb {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn all_members_have_min_degree_at_least_two() {
+        // Property 3 of the induction.
+        let lc = lock_chain_graph(2, 2, 1);
+        assert!(lc.graph.min_degree() >= 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! The `k`-necklaces `M_k` / `N_k` of Theorem 3.3 (Fig. 2 of the paper).
+//!
+//! A necklace consists of:
+//!
+//! * `k` **joints** `w_1, ..., w_k` (`k` even),
+//! * `k - 1` **diamonds** `D_1, ..., D_{k-1}` — cliques of size `x`, every
+//!   node of `D_i` joined by **rays** to `w_i` and `w_{i+1}`,
+//! * `k` **emeralds** `E_1, ..., E_k` — pairwise distinct cliques of the
+//!   family `F(x)`, attached by identifying their node `r` with `w_i`,
+//! * two pendant chains of `φ - 1` nodes each, ending in the **left leaf**
+//!   and the **right leaf**, attached to `w_1` and `w_k` respectively.
+//!
+//! The family `N_k` is parameterized by a *code* `(c_1, ..., c_k)` with
+//! `c_1 = c_k = 0` and `c_i ∈ {0, ..., x}`: the member with that code shifts
+//! every port `p` at every node of diamond `D_i` to `(p + c_i) mod (x+1)`.
+//! All members have election index exactly `φ` (Claim 3.10) and all must
+//! receive different advice for election in time `φ` (Claim 3.11), which
+//! yields the `Ω(n (log log n)² / log n)` lower bound.
+
+use anet_graph::{relabel, Graph, GraphBuilder, NodeId};
+
+use crate::cliques_f::{clique_f, family_f_size};
+
+/// Parameters of a necklace (shared by all members of the family `N_k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NecklaceParams {
+    /// Number of joints (must be even and at least 2).
+    pub k: usize,
+    /// Clique parameter `x >= 3`; also the diamond size.
+    pub x: usize,
+    /// The target election index `φ >= 2`.
+    pub phi: usize,
+}
+
+impl NecklaceParams {
+    /// Validates the parameters.
+    pub fn validate(&self) {
+        assert!(self.k >= 2 && self.k % 2 == 0, "k must be even and >= 2");
+        assert!(self.x >= 3, "x must be at least 3");
+        assert!(self.phi >= 2, "the necklace construction needs φ >= 2");
+        assert!(
+            (self.k as u64) <= family_f_size(self.x),
+            "need k <= (x-1)^x distinct emeralds"
+        );
+    }
+
+    /// Number of nodes of every member of the family.
+    pub fn num_nodes(&self) -> usize {
+        self.k // joints
+            + self.k * self.x // emerald non-r nodes
+            + (self.k - 1) * self.x // diamond nodes
+            + 2 * (self.phi - 1) // the two chains
+    }
+
+    /// The node id of joint `w_{i+1}` (0-based `i`).
+    pub fn joint(&self, i: usize) -> NodeId {
+        assert!(i < self.k);
+        i
+    }
+
+    /// The node id of node `j` of emerald `E_{i+1}` (0-based `i`, `j`),
+    /// i.e. the copy of `v_j` of the attached `F(x)` clique.
+    pub fn emerald_node(&self, i: usize, j: usize) -> NodeId {
+        assert!(i < self.k && j < self.x);
+        self.k + i * self.x + j
+    }
+
+    /// The node id of node `j` of diamond `D_{i+1}` (0-based `i`, `j`).
+    pub fn diamond_node(&self, i: usize, j: usize) -> NodeId {
+        assert!(i < self.k - 1 && j < self.x);
+        self.k + self.k * self.x + i * self.x + j
+    }
+
+    /// The node id of chain node `a_j` (left chain; `j` in `0..phi-1`).
+    pub fn left_chain(&self, j: usize) -> NodeId {
+        assert!(j < self.phi - 1);
+        self.k + (2 * self.k - 1) * self.x + j
+    }
+
+    /// The node id of chain node `b_j` (right chain; `j` in `0..phi-1`).
+    pub fn right_chain(&self, j: usize) -> NodeId {
+        assert!(j < self.phi - 1);
+        self.k + (2 * self.k - 1) * self.x + (self.phi - 1) + j
+    }
+
+    /// The left leaf `a_0`.
+    pub fn left_leaf(&self) -> NodeId {
+        self.left_chain(0)
+    }
+
+    /// The right leaf `b_0`.
+    pub fn right_leaf(&self) -> NodeId {
+        self.right_chain(0)
+    }
+
+    /// The number of members of the family `N_k` counted by the paper:
+    /// `(x+1)^(k-3)` (the codes effectively free on the inner diamonds), the
+    /// quantity whose logarithm is the advice lower bound.
+    pub fn family_size(&self) -> u64 {
+        let free = self.k.saturating_sub(3);
+        let mut out = 1u64;
+        for _ in 0..free {
+            out = out.saturating_mul((self.x + 1) as u64);
+        }
+        out
+    }
+}
+
+/// Builds the necklace with the given code (`code.len() == k`,
+/// `code[0] == code[k-1] == 0`, entries `<= x`).
+pub fn necklace(params: NecklaceParams, code: &[usize]) -> Graph {
+    params.validate();
+    let NecklaceParams { k, x, phi } = params;
+    assert_eq!(code.len(), k, "one code entry per joint");
+    assert!(code[0] == 0 && code[k - 1] == 0, "codes start and end with 0");
+    assert!(code.iter().all(|&c| c <= x), "code entries are at most x");
+
+    let mut b = GraphBuilder::new(params.num_nodes());
+
+    // Emeralds: E_{i+1} is the clique C_{i+1} of F(x) (pairwise distinct),
+    // with its node r identified with the joint.
+    for i in 0..k {
+        let c = clique_f(x, i as u64);
+        let map = |u: NodeId| -> NodeId {
+            if u == 0 {
+                params.joint(i)
+            } else {
+                params.emerald_node(i, u - 1)
+            }
+        };
+        for (u, pu, v, pv) in c.edges() {
+            b.add_edge_with_ports(map(u), pu, map(v), pv).unwrap();
+        }
+    }
+
+    // Diamonds: a clique of size x on the diamond nodes with ports 0..x-2
+    // assigned identically in every diamond (insertion order), plus rays.
+    for i in 0..(k - 1) {
+        // Intra-diamond clique edges (ports assigned automatically, same
+        // insertion order in every diamond => same port numbering).
+        for j in 0..x {
+            for l in (j + 1)..x {
+                b.add_edge_auto(params.diamond_node(i, j), params.diamond_node(i, l))
+                    .unwrap();
+            }
+        }
+        // Rays: port x-1 at the diamond node towards w_{i+1} (left joint of
+        // the diamond), port x towards w_{i+2} (right joint).
+        for j in 0..x {
+            let d = params.diamond_node(i, j);
+            let left_joint = params.joint(i);
+            let right_joint = params.joint(i + 1);
+            let port_at_left = joint_ray_port(params, i, /*towards_left_joint=*/ true, j);
+            let port_at_right = joint_ray_port(params, i, false, j);
+            b.add_edge_with_ports(d, x - 1, left_joint, port_at_left).unwrap();
+            b.add_edge_with_ports(d, x, right_joint, port_at_right).unwrap();
+        }
+    }
+
+    // Chains. For φ = 2 each chain is the single leaf attached directly to
+    // its joint.
+    let left_attach = params.left_chain(phi - 2);
+    let right_attach = params.right_chain(phi - 2);
+    b.add_edge_with_ports(left_attach, 0, params.joint(0), 2 * x)
+        .unwrap();
+    b.add_edge_with_ports(right_attach, 0, params.joint(k - 1), 2 * x)
+        .unwrap();
+    for j in 0..phi.saturating_sub(2) {
+        // Edge {a_j, a_{j+1}}: port 0 at a_j (towards larger index, i.e.
+        // towards the joint), port 1 at a_{j+1}.
+        b.add_edge_with_ports(params.left_chain(j), 0, params.left_chain(j + 1), 1)
+            .unwrap();
+        b.add_edge_with_ports(params.right_chain(j), 0, params.right_chain(j + 1), 1)
+            .unwrap();
+    }
+    // The leaf's only port must be 0: for φ = 2 the leaf is the attach node
+    // (already using port 0 towards the joint); for φ > 2 the leaf a_0 uses
+    // port 0 towards a_1 — consistent with the paper.
+
+    let base = b.build().unwrap();
+
+    // Apply the code: shift every port at every node of diamond D_{i+1} by
+    // c_{i+1} modulo (x + 1) (diamond nodes have degree x + 1).
+    let mut shifted_nodes = Vec::new();
+    let mut shift_of = vec![0usize; params.num_nodes()];
+    for i in 0..(k - 1) {
+        // The paper shifts every port at every node of D_i by c_i; in
+        // 0-based terms, diamond i is shifted by code[i]. With c_1 = 0 the
+        // first diamond is never shifted, so the left leaf's deep view is
+        // identical across the family.
+        let c = code[i];
+        if c == 0 {
+            continue;
+        }
+        for j in 0..x {
+            let d = params.diamond_node(i, j);
+            shifted_nodes.push(d);
+            shift_of[d] = c;
+        }
+    }
+    if shifted_nodes.is_empty() {
+        base
+    } else {
+        relabel::shift_ports_at(&base, &shifted_nodes, move |v| shift_of[v])
+    }
+}
+
+/// The base necklace `M_k` (all-zero code).
+pub fn necklace_base(params: NecklaceParams) -> Graph {
+    necklace(params, &vec![0; params.k])
+}
+
+/// The port number at the joint for the ray from diamond node `j` of diamond
+/// `D_{i+1}` (0-based `i`), following the parity rules of the construction.
+fn joint_ray_port(params: NecklaceParams, i: usize, towards_left_joint: bool, j: usize) -> usize {
+    let NecklaceParams { k, x, .. } = params;
+    // The joint in question (1-based index as in the paper).
+    let joint_1based = if towards_left_joint { i + 1 } else { i + 2 };
+    if joint_1based == 1 || joint_1based == k {
+        // w_1 and w_k have rays from only one diamond, in range {x..2x-1}.
+        return x + j;
+    }
+    // Interior joint w_m: the diamond on one side uses {x..2x-1}, the other
+    // {2x..3x-1}, depending on the parity of m.
+    let m = joint_1based;
+    let ray_towards_previous_diamond = !towards_left_joint;
+    // "If m is even: rays to D_{m-1} use {x..2x-1}, rays to D_m use
+    //  {2x..3x-1}; if m is odd, the ranges are swapped."
+    let low_range = if m % 2 == 0 {
+        ray_towards_previous_diamond
+    } else {
+        !ray_towards_previous_diamond
+    };
+    if low_range {
+        x + j
+    } else {
+        2 * x + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::{election_index, AugmentedView};
+
+    fn small_params(phi: usize) -> NecklaceParams {
+        NecklaceParams { k: 4, x: 3, phi }
+    }
+
+    #[test]
+    fn structure_has_expected_degrees() {
+        let params = small_params(2);
+        let g = necklace_base(params);
+        assert_eq!(g.num_nodes(), params.num_nodes());
+        // End joints: x (emerald) + x (rays from one diamond) + 1 (chain).
+        assert_eq!(g.degree(params.joint(0)), 2 * params.x + 1);
+        assert_eq!(g.degree(params.joint(params.k - 1)), 2 * params.x + 1);
+        // Interior joints: x (emerald) + 2x (rays from two diamonds).
+        assert_eq!(g.degree(params.joint(1)), 3 * params.x);
+        // Diamond nodes: x - 1 (clique) + 2 (rays).
+        assert_eq!(g.degree(params.diamond_node(0, 0)), params.x + 1);
+        // Leaves have degree 1.
+        assert_eq!(g.degree(params.left_leaf()), 1);
+        assert_eq!(g.degree(params.right_leaf()), 1);
+    }
+
+    #[test]
+    fn leaves_views_coincide_below_phi() {
+        // The key property forcing φ(G) >= φ: the two leaves have identical
+        // augmented views at depth φ - 1.
+        for phi in [2, 3, 4] {
+            let params = small_params(phi);
+            let g = necklace_base(params);
+            let left = AugmentedView::compute(&g, params.left_leaf(), phi - 1);
+            let right = AugmentedView::compute(&g, params.right_leaf(), phi - 1);
+            assert_eq!(left, right, "φ = {phi}");
+            let left_phi = AugmentedView::compute(&g, params.left_leaf(), phi);
+            let right_phi = AugmentedView::compute(&g, params.right_leaf(), phi);
+            assert_ne!(left_phi, right_phi, "φ = {phi}");
+        }
+    }
+
+    #[test]
+    fn claim_3_10_election_index_is_phi() {
+        for phi in [2, 3, 4] {
+            let params = small_params(phi);
+            let g = necklace_base(params);
+            assert_eq!(election_index(&g), Some(phi), "φ = {phi}");
+        }
+    }
+
+    #[test]
+    fn coded_members_keep_the_election_index() {
+        let params = small_params(3);
+        for code in [[0, 1, 0, 0], [0, 0, 2, 0], [0, 3, 1, 0]] {
+            let g = necklace(params, &code);
+            assert_eq!(election_index(&g), Some(params.phi), "code {code:?}");
+        }
+    }
+
+    #[test]
+    fn different_codes_give_different_graphs_with_identical_leaf_views() {
+        // The Observation in the proof of Claim 3.11: the leaves' depth-φ
+        // views are the same across the family members that differ only in
+        // the inner diamonds, yet the graphs differ — so identical advice
+        // would force identical outputs, which cannot both be correct.
+        let params = NecklaceParams { k: 6, x: 3, phi: 2 };
+        let g1 = necklace(params, &[0, 0, 1, 2, 0, 0]);
+        let g2 = necklace(params, &[0, 0, 2, 1, 0, 0]);
+        assert_ne!(g1, g2);
+        let l1 = AugmentedView::compute(&g1, params.left_leaf(), params.phi);
+        let l2 = AugmentedView::compute(&g2, params.left_leaf(), params.phi);
+        assert_eq!(l1, l2);
+        let r1 = AugmentedView::compute(&g1, params.right_leaf(), params.phi);
+        let r2 = AugmentedView::compute(&g2, params.right_leaf(), params.phi);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn family_size_matches_formula() {
+        // (x+1)^(k-3) members, as counted in the proof of Theorem 3.3.
+        let params = small_params(2);
+        assert_eq!(params.family_size(), ((params.x + 1) as u64).pow(1));
+        let larger = NecklaceParams { k: 6, x: 3, phi: 2 };
+        assert_eq!(larger.family_size(), 4u64.pow(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_k_is_rejected() {
+        let params = NecklaceParams { k: 5, x: 3, phi: 2 };
+        necklace_base(params);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonzero_terminal_code_is_rejected()
+    {
+        let params = small_params(2);
+        necklace(params, &[1, 0, 0, 0]);
+    }
+}

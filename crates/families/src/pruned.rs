@@ -1,0 +1,220 @@
+//! Pruned views (Theorem 4.2) realized as port-labeled graph gadgets.
+//!
+//! The pruned view `PV_G(u, {p_1, ..., p_t}, l)` is the tree of
+//! non-backtracking walks of length at most `l` starting at `u` whose first
+//! edge does not use any of the ports `p_1, ..., p_t`. Unlike the truncated
+//! view, it contains no repeated port numbers at a node, so it can be used as
+//! a *building block for graph constructions*: the merge operation of
+//! Theorem 4.2 replaces a subgraph hanging off an articulation node by the
+//! pruned view of that node, decorating the leaves with cliques, and
+//! (Claim 4.2) this leaves the augmented views of the surviving nodes
+//! unchanged up to the corresponding depth.
+//!
+//! The gadget built here is the *decorated* pruned view: every leaf carries
+//! an attached clique (as in the transformation `T(L)` of the locks, which
+//! attaches cliques of sizes `x + 4f` to the leaves). The decoration is what
+//! makes the gadget a valid port-labeled graph on its own — the raw pruned
+//! view has dangling port numbers at its leaves and only becomes legal once
+//! composed, exactly as in the paper.
+
+use anet_graph::{Graph, GraphBuilder, NodeId, Port};
+
+/// The decorated pruned view gadget.
+#[derive(Debug, Clone)]
+pub struct PrunedViewGadget {
+    /// The gadget graph: the pruned-view tree with a clique attached to every
+    /// leaf.
+    pub graph: Graph,
+    /// The root (the copy of `u`).
+    pub root: NodeId,
+    /// The tree nodes at depth exactly `l` (each carrying its clique).
+    pub leaves: Vec<NodeId>,
+    /// For every *tree* node (root, internal, leaf — not the clique filler
+    /// nodes), the original graph node it is a copy of.
+    pub origin: Vec<NodeId>,
+}
+
+/// Builds the decorated pruned view `PV_G(u, excluded, depth)` with a clique
+/// of size `leaf_clique_size(f)` attached to the `f`-th leaf (`f` is the
+/// leaf's index in discovery order, matching the paper's "clique of size
+/// `x + 4f` attached to leaf `m_f`").
+///
+/// Requirements, asserted:
+/// * `excluded` must be a suffix of the root's port range (the merge always
+///   excludes the clique ports of a lock's central node, which are the
+///   largest ones), so the root's remaining ports are `0..deg(u)-t`;
+/// * every leaf clique must be large enough to fill the ports below the
+///   leaf's entry port (`leaf_clique_size(f) > max_degree(g)` always works).
+pub fn pruned_view_gadget<F>(
+    g: &Graph,
+    u: NodeId,
+    excluded: &[Port],
+    depth: usize,
+    leaf_clique_size: F,
+) -> PrunedViewGadget
+where
+    F: Fn(usize) -> usize,
+{
+    assert!(depth >= 1, "a pruned view gadget needs positive depth");
+    let deg = g.degree(u);
+    for &p in excluded {
+        assert!(
+            p >= deg - excluded.len(),
+            "excluded ports must be the largest ports of the root"
+        );
+    }
+
+    let mut builder = GraphBuilder::new(1);
+    let mut origin = vec![u];
+    let mut leaves: Vec<NodeId> = Vec::new();
+
+    struct Frontier {
+        tree_node: NodeId,
+        graph_node: NodeId,
+        banned: Vec<Port>,
+    }
+    let mut frontier = vec![Frontier {
+        tree_node: 0,
+        graph_node: u,
+        banned: excluded.to_vec(),
+    }];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for f in &frontier {
+            for (p, v, q) in g.ports(f.graph_node) {
+                if f.banned.contains(&p) {
+                    continue;
+                }
+                let child = builder.add_nodes(1);
+                origin.push(v);
+                builder
+                    .add_edge_with_ports(f.tree_node, p, child, q)
+                    .expect("tree edges cannot collide");
+                next.push(Frontier {
+                    tree_node: child,
+                    graph_node: v,
+                    banned: vec![q],
+                });
+            }
+        }
+        if level + 1 == depth {
+            leaves = next.iter().map(|f| f.tree_node).collect();
+        }
+        frontier = next;
+    }
+
+    // Decorate every leaf with its clique, which also fills the leaf's port
+    // numbers below (and above) its entry port.
+    for (f, &leaf) in leaves.iter().enumerate() {
+        let size = leaf_clique_size(f);
+        assert!(
+            size > g.max_degree(),
+            "leaf clique {f} of size {size} cannot fill the leaf's ports"
+        );
+        let first = builder.add_nodes(size - 1);
+        let members: Vec<NodeId> = std::iter::once(leaf)
+            .chain(first..first + size - 1)
+            .collect();
+        for a in 0..members.len() {
+            for b in (a + 1)..members.len() {
+                builder.add_edge_auto(members[a], members[b]).unwrap();
+            }
+        }
+    }
+
+    PrunedViewGadget {
+        graph: builder.build().expect("decorated pruned view is valid"),
+        root: 0,
+        leaves,
+        origin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+    use anet_views::AugmentedView;
+
+    #[test]
+    fn pruned_view_of_a_ring_is_a_decorated_path() {
+        // In a ring, pruning one of the two ports at the root leaves a single
+        // non-backtracking walk of the requested length.
+        let g = generators::ring(8);
+        let pv = pruned_view_gadget(&g, 0, &[1], 4, |_f| 5);
+        assert_eq!(pv.leaves.len(), 1);
+        assert_eq!(pv.graph.degree(pv.root), 1);
+        // Tree part: origins are 0, 1, 2, 3, 4 (clockwise walk).
+        assert_eq!(pv.origin, vec![0, 1, 2, 3, 4]);
+        // The single leaf carries a clique of size 5 (so 4 extra nodes).
+        assert_eq!(pv.graph.num_nodes(), 5 + 4);
+        assert_eq!(pv.graph.degree(pv.leaves[0]), 1 + 4);
+    }
+
+    #[test]
+    fn branches_reach_full_depth_when_degrees_are_at_least_two() {
+        // Claim 4.3: with min degree >= 2 every branch of the pruned view
+        // extends to the full depth.
+        let g = generators::torus(3, 4);
+        let pv = pruned_view_gadget(&g, 0, &[3], 3, |f| g.max_degree() + 1 + f);
+        let dist = anet_graph::algo::bfs_distances(&pv.graph, pv.root);
+        assert!(!pv.leaves.is_empty());
+        for &leaf in &pv.leaves {
+            assert_eq!(dist[leaf], 3);
+        }
+        // Every non-root, non-leaf tree node has the degree of its original.
+        for (tree_node, &orig) in pv.origin.iter().enumerate() {
+            if tree_node == pv.root || pv.leaves.contains(&tree_node) {
+                continue;
+            }
+            assert_eq!(pv.graph.degree(tree_node), g.degree(orig));
+        }
+    }
+
+    #[test]
+    fn claim_4_2_root_views_are_preserved_below_the_pruning_depth() {
+        // The root of the decorated pruned view has the same augmented view,
+        // up to depth l - 1, as the original articulation node has in the
+        // subgraph that the gadget replaces.
+        let mut b = GraphBuilder::new(7);
+        // A 4-cycle 0-1-2-3 with a pendant path 0-4-5-6; the pendant edge is
+        // inserted last so its port (2) is the largest at node 0.
+        b.add_edge_auto(0, 1).unwrap();
+        b.add_edge_auto(1, 2).unwrap();
+        b.add_edge_auto(2, 3).unwrap();
+        b.add_edge_auto(3, 0).unwrap();
+        b.add_edge_auto(0, 4).unwrap();
+        b.add_edge_auto(4, 5).unwrap();
+        b.add_edge_auto(5, 6).unwrap();
+        let g = b.build().unwrap();
+        let keep_depth = 3;
+        let excluded = vec![g.port_to(0, 4).unwrap()];
+        let pv = pruned_view_gadget(&g, 0, &excluded, keep_depth, |_f| g.max_degree() + 2);
+        // Compare with the cycle-only graph (what the gadget replaces is the
+        // pendant side; what it preserves is the cycle side).
+        let mut b2 = GraphBuilder::new(4);
+        b2.add_edge_auto(0, 1).unwrap();
+        b2.add_edge_auto(1, 2).unwrap();
+        b2.add_edge_auto(2, 3).unwrap();
+        b2.add_edge_auto(3, 0).unwrap();
+        let cycle = b2.build().unwrap();
+        assert_eq!(
+            AugmentedView::compute(&pv.graph, pv.root, keep_depth - 1),
+            AugmentedView::compute(&cycle, 0, keep_depth - 1)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_suffix_exclusions_are_rejected() {
+        let g = generators::torus(3, 3);
+        pruned_view_gadget(&g, 0, &[0], 2, |_f| 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn undersized_leaf_cliques_are_rejected() {
+        let g = generators::clique(6);
+        pruned_view_gadget(&g, 0, &[5], 2, |_f| 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! The ring-of-cliques graphs `H_k` and the family `G_k` of Theorem 3.2
+//! (Fig. 1 of the paper).
+//!
+//! `H_k` is a ring of `k` nodes `w_1, ..., w_k`; an isomorphic copy of the
+//! clique `C_t` of `F(x)` is attached to `w_t` by identifying `w_t` with the
+//! clique's node `r`. Ring edges use ports `x` (clockwise) and `x + 1`
+//! (counter-clockwise) at every ring node. The family `G_k` keeps the clique
+//! at `w_1` fixed and permutes the cliques attached to the other ring nodes —
+//! `(k-1)!` graphs, all with election index 1 (Claim 3.8), all requiring
+//! different advice for any election algorithm running in time 1
+//! (Claim 3.9), which yields the `Ω(n log log n)` advice lower bound.
+
+use anet_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::cliques_f::{clique_f, family_f_size};
+
+/// Builds a member of the family `G_k`: ring size `k`, clique parameter `x`,
+/// with the clique attached to ring position `i` (0-based) being
+/// `C_{assignment[i]}` of `F(x)`.
+///
+/// The base graph `H_k` is obtained with `assignment = [0, 1, ..., k-1]`
+/// (see [`ring_of_cliques_base`]).
+///
+/// Node numbering of the result: ring node `w_{i+1}` is node `i`; the `x`
+/// non-`r` nodes of the clique attached to it follow, so the graph has
+/// `k (x + 1)` nodes.
+///
+/// # Panics
+/// Panics if `k < 3`, if some assignment index is out of range for `F(x)`,
+/// or if the assignment has repeated cliques (the construction requires
+/// pairwise distinct cliques).
+pub fn ring_of_cliques(k: usize, x: usize, assignment: &[u64]) -> Graph {
+    assert!(k >= 3, "the ring needs at least 3 nodes");
+    assert_eq!(assignment.len(), k, "one clique per ring node");
+    {
+        let mut sorted = assignment.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), k, "cliques must be pairwise distinct");
+    }
+    assert!(
+        assignment.iter().all(|&t| t < family_f_size(x)),
+        "assignment indices must address F({x})"
+    );
+
+    // Node layout: ring node i at index i*(x+1); its clique's v_j at
+    // i*(x+1) + 1 + j.
+    let stride = x + 1;
+    let mut b = GraphBuilder::new(k * stride);
+
+    // Ring edges: port x clockwise, x+1 counter-clockwise.
+    for i in 0..k {
+        let w = i * stride;
+        let w_next = ((i + 1) % k) * stride;
+        b.add_edge_with_ports(w, x, w_next, x + 1).unwrap();
+    }
+
+    // Attach cliques, copying the port numbers of C_t faithfully.
+    for (i, &t) in assignment.iter().enumerate() {
+        let c = clique_f(x, t);
+        let base = i * stride;
+        // Map clique node id to composed graph id: r (0) -> base, v_j -> base+1+j.
+        for (u, pu, v, pv) in c.edges() {
+            b.add_edge_with_ports(base + u, pu, base + v, pv).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The base graph `H_k` (cliques `C_1, ..., C_k` in ring order).
+pub fn ring_of_cliques_base(k: usize, x: usize) -> Graph {
+    let assignment: Vec<u64> = (0..k as u64).collect();
+    ring_of_cliques(k, x, &assignment)
+}
+
+/// The simulator-level node id of ring node `w_{i+1}` in the composed graph.
+pub fn ring_node(i: usize, x: usize) -> NodeId {
+    i * (x + 1)
+}
+
+/// The number of nodes of a `G_k` member with parameter `x`:
+/// `n_k = k (x + 1)`.
+pub fn family_gk_num_nodes(k: usize, x: usize) -> usize {
+    k * (x + 1)
+}
+
+/// The number of graphs in the family `G_k`: `(k-1)!` (saturating), i.e. the
+/// number of distinct pieces of advice Claim 3.9 forces. Its logarithm is the
+/// advice lower bound `Ω(k log k) = Ω(n log log n)`.
+pub fn family_gk_size(k: usize) -> u64 {
+    let mut out: u64 = 1;
+    for i in 1..k as u64 {
+        out = out.saturating_mul(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::{election_index, AugmentedView};
+
+    const K: usize = 6;
+    const X: usize = 3;
+
+    #[test]
+    fn base_graph_has_expected_shape() {
+        let g = ring_of_cliques_base(K, X);
+        assert_eq!(g.num_nodes(), family_gk_num_nodes(K, X));
+        // Ring nodes have degree x + 2, clique nodes degree x.
+        for i in 0..K {
+            assert_eq!(g.degree(ring_node(i, X)), X + 2);
+        }
+        for i in 0..K {
+            for j in 0..X {
+                assert_eq!(g.degree(ring_node(i, X) + 1 + j), X);
+            }
+        }
+    }
+
+    #[test]
+    fn claim_3_8_election_index_is_one() {
+        let g = ring_of_cliques_base(K, X);
+        assert_eq!(election_index(&g), Some(1));
+        // Another member of the family (cliques permuted, w_1 fixed).
+        let g2 = ring_of_cliques(K, X, &[0, 2, 1, 4, 3, 5]);
+        assert_eq!(election_index(&g2), Some(1));
+    }
+
+    #[test]
+    fn observation_ring_nodes_with_same_clique_have_equal_views() {
+        // The Observation in the proof of Claim 3.9: the node r of the copy
+        // of C_t has the same B^1 view no matter where on the ring the copy
+        // is attached.
+        let g1 = ring_of_cliques(K, X, &[0, 1, 2, 3, 4, 5]);
+        let g2 = ring_of_cliques(K, X, &[0, 3, 4, 1, 2, 5]);
+        // Clique 3 sits at ring position 3 in g1 and position 1 in g2.
+        let v1 = AugmentedView::compute(&g1, ring_node(3, X), 1);
+        let v2 = AugmentedView::compute(&g2, ring_node(1, X), 1);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn different_members_are_different_graphs() {
+        let g1 = ring_of_cliques(K, X, &[0, 1, 2, 3, 4, 5]);
+        let g2 = ring_of_cliques(K, X, &[0, 2, 1, 3, 4, 5]);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn family_size_and_advice_lower_bound_shape() {
+        // log2((k-1)!) grows like k log k, i.e. Θ(n log log n) for
+        // n = k(x+1) with x = Θ(log k / log log k).
+        assert_eq!(family_gk_size(4), 6);
+        assert_eq!(family_gk_size(6), 120);
+        let bits = (family_gk_size(K) as f64).log2();
+        assert!(bits > 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_cliques_are_rejected() {
+        ring_of_cliques(K, X, &[0, 0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Centralized graph algorithms used by the oracle and the test harness.
+//!
+//! These are *not* part of the distributed model — they are the tools the
+//! advice-constructing oracle (which knows the whole graph) and the experiment
+//! harness use: BFS, distances, diameter, shortest paths, and the canonical
+//! BFS tree of Section 3 of the paper.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId, Port};
+use crate::path::{port_path_of_node_sequence, PortPath};
+
+/// BFS distances from `source` to every node. `usize::MAX` never appears since
+/// graphs are connected by construction.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents from `source`: `parent[source] == source`, and for every other
+/// node the parent is the neighbor through which BFS first reached it, where
+/// ties are broken by *smallest port number at the child* (the canonical BFS
+/// tree of the paper: "the parent of each node u at level i+1 is the node at
+/// level i corresponding to the smallest port number at u").
+pub fn canonical_bfs_parents(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let dist = bfs_distances(g, source);
+    let n = g.num_nodes();
+    let mut parent = vec![usize::MAX; n];
+    parent[source] = source;
+    for v in 0..n {
+        if v == source {
+            continue;
+        }
+        // Smallest port at v leading to a node at distance dist[v] - 1.
+        for (_, u, _) in g.ports(v) {
+            if dist[u] + 1 == dist[v] {
+                parent[v] = u;
+                break;
+            }
+        }
+        debug_assert_ne!(parent[v], usize::MAX);
+    }
+    parent
+}
+
+/// The canonical BFS tree rooted at `root`, as a list of tree edges
+/// `(child, port_at_child, parent, port_at_parent)`.
+pub fn canonical_bfs_tree_edges(g: &Graph, root: NodeId) -> Vec<(NodeId, Port, NodeId, Port)> {
+    let parent = canonical_bfs_parents(g, root);
+    let mut edges = Vec::with_capacity(g.num_nodes().saturating_sub(1));
+    for v in g.nodes() {
+        if v == root {
+            continue;
+        }
+        let u = parent[v];
+        let pv = g.port_to(v, u).expect("parent is a neighbor");
+        let pu = g.port_to(u, v).expect("child is a neighbor");
+        edges.push((v, pv, u, pu));
+    }
+    edges
+}
+
+/// Eccentricity of `v`: the maximum BFS distance from `v`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
+    bfs_distances(g, v).into_iter().max().unwrap_or(0)
+}
+
+/// Diameter of the graph: maximum eccentricity over all nodes.
+///
+/// This is `O(n · m)`; fine for the graph sizes exercised here.
+pub fn diameter(g: &Graph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Radius of the graph: minimum eccentricity.
+pub fn radius(g: &Graph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).min().unwrap_or(0)
+}
+
+/// Distance between two nodes.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> usize {
+    bfs_distances(g, u)[v]
+}
+
+/// One shortest path from `from` to `to` as a node sequence (BFS, ties broken
+/// by smallest port at the current node when walking back from `to`).
+pub fn shortest_path_nodes(g: &Graph, from: NodeId, to: NodeId) -> Vec<NodeId> {
+    let dist = bfs_distances(g, from);
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        // Predecessor with dist one less, smallest port at cur.
+        let mut next = usize::MAX;
+        for (_, u, _) in g.ports(cur) {
+            if dist[u] + 1 == dist[cur] {
+                next = u;
+                break;
+            }
+        }
+        debug_assert_ne!(next, usize::MAX);
+        cur = next;
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// One shortest path from `from` to `to` as a [`PortPath`].
+pub fn shortest_path_ports(g: &Graph, from: NodeId, to: NodeId) -> PortPath {
+    let nodes = shortest_path_nodes(g, from, to);
+    port_path_of_node_sequence(g, &nodes).expect("consecutive BFS nodes are adjacent")
+}
+
+/// The path from `v` to the root of the canonical BFS tree rooted at `root`,
+/// as a [`PortPath`]. Tree paths are simple by construction.
+pub fn bfs_tree_path_to_root(g: &Graph, root: NodeId, v: NodeId) -> PortPath {
+    let parent = canonical_bfs_parents(g, root);
+    let mut nodes = vec![v];
+    let mut cur = v;
+    while cur != root {
+        cur = parent[cur];
+        nodes.push(cur);
+    }
+    port_path_of_node_sequence(g, &nodes).expect("tree edges are graph edges")
+}
+
+/// Checks whether `path`, followed from every one of the `starts`, is a simple
+/// path ending at a common node; returns that node if so.
+pub fn common_endpoint(
+    g: &Graph,
+    outputs: &[(NodeId, PortPath)],
+) -> Option<NodeId> {
+    let mut leader: Option<NodeId> = None;
+    for (start, path) in outputs {
+        if !path.is_simple(g, *start) {
+            return None;
+        }
+        let end = path.endpoint(g, *start)?;
+        match leader {
+            None => leader = Some(end),
+            Some(l) if l == end => {}
+            Some(_) => return None,
+        }
+    }
+    leader
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ring_distances_and_diameter() {
+        let g = generators::ring(8);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[4], 4);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[7], 1);
+        assert_eq!(diameter(&g), 4);
+        assert_eq!(radius(&g), 4);
+        assert_eq!(eccentricity(&g, 3), 4);
+    }
+
+    #[test]
+    fn clique_diameter_is_one() {
+        let g = generators::clique(5);
+        assert_eq!(diameter(&g), 1);
+        assert_eq!(radius(&g), 1);
+    }
+
+    #[test]
+    fn path_graph_diameter_and_radius() {
+        let g = generators::path(7);
+        assert_eq!(diameter(&g), 6);
+        assert_eq!(radius(&g), 3);
+    }
+
+    #[test]
+    fn shortest_path_is_shortest_and_simple() {
+        let g = generators::ring(10);
+        let p = shortest_path_ports(&g, 0, 5);
+        assert_eq!(p.len(), 5);
+        assert!(p.is_simple(&g, 0));
+        assert_eq!(p.endpoint(&g, 0), Some(5));
+    }
+
+    #[test]
+    fn canonical_bfs_parents_cover_all_nodes() {
+        let g = generators::hypercube(3);
+        let parent = canonical_bfs_parents(&g, 0);
+        assert_eq!(parent[0], 0);
+        for v in 1..g.num_nodes() {
+            assert_ne!(parent[v], usize::MAX);
+            // Parent is strictly closer to the root.
+            assert_eq!(distance(&g, 0, parent[v]) + 1, distance(&g, 0, v));
+        }
+    }
+
+    #[test]
+    fn canonical_bfs_tree_has_n_minus_one_edges() {
+        let g = generators::torus(3, 4);
+        let edges = canonical_bfs_tree_edges(&g, 2);
+        assert_eq!(edges.len(), g.num_nodes() - 1);
+        for (v, pv, u, pu) in edges {
+            assert_eq!(g.neighbor(v, pv), (u, pu));
+        }
+    }
+
+    #[test]
+    fn bfs_tree_path_reaches_root() {
+        let g = generators::torus(4, 4);
+        for v in g.nodes() {
+            let p = bfs_tree_path_to_root(&g, 5, v);
+            assert!(p.is_simple(&g, v));
+            assert_eq!(p.endpoint(&g, v), Some(5));
+        }
+    }
+
+    #[test]
+    fn common_endpoint_detects_agreement_and_disagreement() {
+        let g = generators::path(5);
+        let agree: Vec<_> = g
+            .nodes()
+            .map(|v| (v, shortest_path_ports(&g, v, 2)))
+            .collect();
+        assert_eq!(common_endpoint(&g, &agree), Some(2));
+
+        let mut disagree = agree.clone();
+        disagree[0] = (0, shortest_path_ports(&g, 0, 3));
+        assert_eq!(common_endpoint(&g, &disagree), None);
+    }
+
+    #[test]
+    fn common_endpoint_rejects_non_simple_paths() {
+        let g = generators::ring(6);
+        // A path that goes all the way around the ring repeats the start node.
+        let nodes: Vec<NodeId> = (0..=6).map(|i| i % 6).collect();
+        let p = port_path_of_node_sequence(&g, &nodes).unwrap();
+        assert_eq!(common_endpoint(&g, &[(0, p)]), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! Incremental construction of port-labeled graphs.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId, Port};
+
+/// Incremental builder for [`Graph`].
+///
+/// Two styles of construction are supported, matching how the paper's
+/// constructions are described:
+///
+/// * [`add_edge_with_ports`](GraphBuilder::add_edge_with_ports) — the port
+///   numbers at both endpoints are given explicitly (used by the lower-bound
+///   families where port numbers are part of the construction), and
+/// * [`add_edge_auto`](GraphBuilder::add_edge_auto) — the next free port is
+///   used at each endpoint ("assign the remaining port numbers arbitrarily"
+///   in the paper; "arbitrarily" is made deterministic as "smallest unused").
+///
+/// The two styles may be mixed: explicit ports reserve their slots, automatic
+/// ports fill the smallest unreserved slot when [`build`](GraphBuilder::build)
+/// is called. `build` validates contiguity of ports, simplicity and
+/// connectivity.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Per node: list of (port, neighbor). Port may be `usize::MAX` meaning
+    /// "assign automatically at build time".
+    half_edges: Vec<Vec<(Port, NodeId)>>,
+}
+
+/// Sentinel used internally for "assign this port automatically".
+const AUTO: Port = usize::MAX;
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            half_edges: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `count` new nodes and returns the identifier of the first one.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.n;
+        self.n += count;
+        self.half_edges.extend(std::iter::repeat_with(Vec::new).take(count));
+        first
+    }
+
+    /// Current number of half-edges registered at `v` (its degree so far).
+    pub fn degree_so_far(&self, v: NodeId) -> usize {
+        self.half_edges[v].len()
+    }
+
+    /// Adds the undirected edge `{u, v}` with explicit port `pu` at `u` and
+    /// `pv` at `v`.
+    pub fn add_edge_with_ports(
+        &mut self,
+        u: NodeId,
+        pu: Port,
+        v: NodeId,
+        pv: Port,
+    ) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        if self.half_edges[u].iter().any(|&(p, _)| p == pu) {
+            return Err(GraphError::DuplicatePort { node: u, port: pu });
+        }
+        if self.half_edges[v].iter().any(|&(p, _)| p == pv) {
+            return Err(GraphError::DuplicatePort { node: v, port: pv });
+        }
+        self.half_edges[u].push((pu, v));
+        self.half_edges[v].push((pv, u));
+        Ok(())
+    }
+
+    /// Adds the undirected edge `{u, v}`, assigning the smallest unused port
+    /// at each endpoint when the graph is built.
+    pub fn add_edge_auto(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        self.half_edges[u].push((AUTO, v));
+        self.half_edges[v].push((AUTO, u));
+        Ok(())
+    }
+
+    /// Adds the edge `{u, v}` with an explicit port only at `u`; the port at
+    /// `v` is assigned automatically.
+    pub fn add_edge_port_at_u(
+        &mut self,
+        u: NodeId,
+        pu: Port,
+        v: NodeId,
+    ) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        if self.half_edges[u].iter().any(|&(p, _)| p == pu) {
+            return Err(GraphError::DuplicatePort { node: u, port: pu });
+        }
+        self.half_edges[u].push((pu, v));
+        self.half_edges[v].push((AUTO, u));
+        Ok(())
+    }
+
+    /// Whether the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.half_edges
+            .get(u)
+            .map(|hs| hs.iter().any(|&(_, w)| w == v))
+            .unwrap_or(false)
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        Ok(())
+    }
+
+    /// Finalizes the graph: resolves automatic ports, checks that explicit
+    /// ports at every node are contiguous `0..deg`, and validates simplicity
+    /// and connectivity.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        // Resolve ports node by node.
+        // resolved[v] is a vector of (port, neighbor).
+        let mut resolved: Vec<Vec<(Port, NodeId)>> = Vec::with_capacity(n);
+        for (v, halves) in self.half_edges.iter().enumerate() {
+            let deg = halves.len();
+            let mut used = vec![false; deg];
+            // First pass: explicit ports must be < deg and unique.
+            for &(p, _) in halves {
+                if p != AUTO {
+                    if p >= deg {
+                        return Err(GraphError::NonContiguousPorts {
+                            node: v,
+                            degree: deg,
+                            missing_port: p.min(deg),
+                        });
+                    }
+                    if used[p] {
+                        return Err(GraphError::DuplicatePort { node: v, port: p });
+                    }
+                    used[p] = true;
+                }
+            }
+            // Second pass: assign free slots to AUTO half-edges in insertion
+            // order (deterministic).
+            let mut next_free = 0usize;
+            let mut out = Vec::with_capacity(deg);
+            for &(p, u) in halves {
+                let port = if p == AUTO {
+                    while next_free < deg && used[next_free] {
+                        next_free += 1;
+                    }
+                    debug_assert!(next_free < deg);
+                    used[next_free] = true;
+                    next_free
+                } else {
+                    p
+                };
+                out.push((port, u));
+            }
+            resolved.push(out);
+        }
+
+        // Build adjacency indexed by port, with reverse ports.
+        let mut adj: Vec<Vec<(NodeId, Port)>> = resolved
+            .iter()
+            .map(|halves| vec![(usize::MAX, usize::MAX); halves.len()])
+            .collect();
+        for (v, halves) in resolved.iter().enumerate() {
+            for &(p, u) in halves {
+                // Find the port of the same edge at u.
+                let q = resolved[u]
+                    .iter()
+                    .find(|&&(_, w)| w == v)
+                    .map(|&(q, _)| q)
+                    .expect("edge registered at both endpoints");
+                adj[v][p] = (u, q);
+            }
+        }
+        Graph::from_adjacency(adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_ports_are_contiguous_and_deterministic() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_auto(0, 1).unwrap();
+        b.add_edge_auto(0, 2).unwrap();
+        b.add_edge_auto(0, 3).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(0), 3);
+        // Insertion order 1, 2, 3 maps to ports 0, 1, 2 at node 0.
+        assert_eq!(g.neighbor(0, 0).0, 1);
+        assert_eq!(g.neighbor(0, 1).0, 2);
+        assert_eq!(g.neighbor(0, 2).0, 3);
+    }
+
+    #[test]
+    fn explicit_ports_are_respected() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(0, 1, 1, 0).unwrap();
+        b.add_edge_with_ports(0, 0, 2, 0).unwrap();
+        b.add_edge_auto(1, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor(0, 1), (1, 0));
+        assert_eq!(g.neighbor(0, 0), (2, 0));
+    }
+
+    #[test]
+    fn mixed_explicit_and_auto_fill_gaps() {
+        let mut b = GraphBuilder::new(4);
+        // Node 0 has three edges; the explicit one takes port 1, the auto
+        // ones take 0 then 2.
+        b.add_edge_auto(0, 1).unwrap();
+        b.add_edge_with_ports(0, 1, 2, 0).unwrap();
+        b.add_edge_auto(0, 3).unwrap();
+        b.add_edge_auto(1, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor(0, 0).0, 1);
+        assert_eq!(g.neighbor(0, 1).0, 2);
+        assert_eq!(g.neighbor(0, 2).0, 3);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(b.add_edge_auto(1, 1), Err(GraphError::SelfLoop { .. })));
+        b.add_edge_auto(0, 1).unwrap();
+        assert!(matches!(
+            b.add_edge_auto(1, 0),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_explicit_port() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_with_ports(0, 5, 1, 0).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::NonContiguousPorts { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_explicit_port() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(0, 0, 1, 0).unwrap();
+        assert!(matches!(
+            b.add_edge_with_ports(0, 0, 2, 0),
+            Err(GraphError::DuplicatePort { node: 0, port: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_auto(0, 1).unwrap();
+        b.add_edge_auto(2, 3).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::Disconnected)));
+    }
+
+    #[test]
+    fn add_nodes_extends_graph() {
+        let mut b = GraphBuilder::new(2);
+        let first = b.add_nodes(3);
+        assert_eq!(first, 2);
+        assert_eq!(b.num_nodes(), 5);
+        b.add_edge_auto(0, 1).unwrap();
+        b.add_edge_auto(1, 2).unwrap();
+        b.add_edge_auto(2, 3).unwrap();
+        b.add_edge_auto(3, 4).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn two_node_graph_builds() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_auto(0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.neighbor(0, 0), (1, 0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz (DOT) export with port labels.
+//!
+//! Used by the experiment harness to regenerate the construction figures of
+//! the paper (Figs. 1–3 and 9) as visual artifacts.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, NodeId};
+
+/// Renders `g` as a Graphviz `graph` in DOT syntax.
+///
+/// Every edge is labeled `taillabel`/`headlabel` with the port numbers at the
+/// two endpoints. Node identifiers are rendered (they are simulation-level
+/// identifiers only; the model itself is anonymous).
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    to_dot_with_labels(g, name, |v| v.to_string())
+}
+
+/// Like [`to_dot`], but node labels are produced by `label`.
+pub fn to_dot_with_labels<F>(g: &Graph, name: &str, label: F) -> String
+where
+    F: Fn(NodeId) -> String,
+{
+    let mut out = String::new();
+    writeln!(out, "graph \"{}\" {{", sanitize(name)).unwrap();
+    writeln!(out, "  node [shape=circle];").unwrap();
+    for v in g.nodes() {
+        writeln!(out, "  n{} [label=\"{}\"];", v, sanitize(&label(v))).unwrap();
+    }
+    for (u, pu, v, pv) in g.edges() {
+        writeln!(
+            out,
+            "  n{u} -- n{v} [taillabel=\"{pu}\", headlabel=\"{pv}\", labeldistance=1.5];"
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = generators::ring(4);
+        let dot = to_dot(&g, "ring4");
+        assert!(dot.starts_with("graph \"ring4\" {"));
+        for v in 0..4 {
+            assert!(dot.contains(&format!("n{v} [label=\"{v}\"]")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_custom_labels() {
+        let g = generators::path(3);
+        let dot = to_dot_with_labels(&g, "p3", |v| format!("node-{v}"));
+        assert!(dot.contains("label=\"node-2\""));
+    }
+
+    #[test]
+    fn dot_sanitizes_quotes() {
+        let g = generators::path(2);
+        let dot = to_dot(&g, "a\"b");
+        assert!(!dot.contains("a\"b"));
+    }
+}

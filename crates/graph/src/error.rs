@@ -1,0 +1,129 @@
+//! Error types for graph construction and queries.
+
+use std::fmt;
+
+/// Errors produced while building or validating a port-labeled graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `{v, v}` was added; the model only allows simple graphs.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// Two parallel edges between the same pair of nodes.
+    ParallelEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// The same port number was used twice at one node.
+    DuplicatePort {
+        /// The node at which the collision happened.
+        node: usize,
+        /// The colliding port number.
+        port: usize,
+    },
+    /// After construction, the ports at a node do not form `0..deg(v)`.
+    NonContiguousPorts {
+        /// The offending node.
+        node: usize,
+        /// The degree of the node.
+        degree: usize,
+        /// The smallest missing port in `0..degree`.
+        missing_port: usize,
+    },
+    /// The graph is not connected (the model requires connectivity).
+    Disconnected,
+    /// The graph has fewer than the minimum number of nodes required by the
+    /// paper's model (`n >= 3` for the main theorems; builders allow `n >= 1`
+    /// but some constructions insist on 3).
+    TooSmall {
+        /// Actual number of nodes.
+        n: usize,
+        /// Required minimum.
+        min: usize,
+    },
+    /// An isolated node (degree 0) exists in a graph required to be connected.
+    IsolatedNode {
+        /// The isolated node.
+        node: usize,
+    },
+    /// A port number queried at a node exceeds its degree.
+    PortOutOfRange {
+        /// The node queried.
+        node: usize,
+        /// The offending port.
+        port: usize,
+        /// The node's degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between nodes {u} and {v}")
+            }
+            GraphError::DuplicatePort { node, port } => {
+                write!(f, "port {port} used twice at node {node}")
+            }
+            GraphError::NonContiguousPorts {
+                node,
+                degree,
+                missing_port,
+            } => write!(
+                f,
+                "ports at node {node} (degree {degree}) are not 0..{degree}: port {missing_port} missing"
+            ),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::TooSmall { n, min } => {
+                write!(f, "graph has {n} nodes but at least {min} are required")
+            }
+            GraphError::IsolatedNode { node } => write!(f, "node {node} is isolated"),
+            GraphError::PortOutOfRange { node, port, degree } => {
+                write!(f, "port {port} out of range at node {node} of degree {degree}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = GraphError::SelfLoop { node: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = GraphError::ParallelEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains('1') && e.to_string().contains('2'));
+        let e = GraphError::DuplicatePort { node: 3, port: 4 };
+        assert!(e.to_string().contains("port 4"));
+        let e = GraphError::Disconnected;
+        assert!(e.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::Disconnected, GraphError::Disconnected);
+        assert_ne!(
+            GraphError::SelfLoop { node: 1 },
+            GraphError::SelfLoop { node: 2 }
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Standard topologies with canonical port numbering.
+//!
+//! Port numbering conventions follow the paper where it specifies them (e.g.
+//! rings with ports 0/1 in clockwise order); otherwise the smallest-unused
+//! rule of [`GraphBuilder`](crate::GraphBuilder) applies.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// The ring `R_n` (`n >= 3`) with port numbers 0, 1 at each node in clockwise
+/// order: port 0 leads clockwise (to `v+1`), port 1 counter-clockwise.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        let w = (v + 1) % n;
+        b.add_edge_with_ports(v, 0, w, 1).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// An *oriented* ring where the clockwise port is `shift_of(v)`-dependent is
+/// not provided here; lower-bound families build their own rings.
+///
+/// The path graph `P_n` (`n >= 2`): node `i` is adjacent to `i+1`; interior
+/// nodes use port 0 towards the lower-index neighbor.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 2, "a path needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n - 1 {
+        b.add_edge_auto(v, v + 1).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The complete graph (clique) `K_n` (`n >= 2`) with ports assigned by the
+/// smallest-unused rule in neighbor order.
+pub fn clique(n: usize) -> Graph {
+    assert!(n >= 2, "a clique needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge_auto(u, v).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The star `S_k` with `k >= 1` leaves: node 0 is the center.
+pub fn star(k: usize) -> Graph {
+    assert!(k >= 1, "a star needs at least one leaf");
+    let mut b = GraphBuilder::new(k + 1);
+    for leaf in 1..=k {
+        b.add_edge_auto(0, leaf).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The complete bipartite graph `K_{a,b}` (`a, b >= 1`).
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    assert!(a >= 1 && b_size >= 1);
+    let mut b = GraphBuilder::new(a + b_size);
+    for u in 0..a {
+        for v in a..a + b_size {
+            b.add_edge_auto(u, v).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The `d`-dimensional hypercube `Q_d` (`d >= 1`, `2^d` nodes). Port `i` at a
+/// node flips bit `i` — the natural dimension-ordered port labeling (a highly
+/// symmetric, vertex-transitive graph: *infeasible* for election).
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d >= 1);
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for i in 0..d {
+            let u = v ^ (1 << i);
+            if v < u {
+                b.add_edge_with_ports(v, i, u, i).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The `rows x cols` torus (wrap-around grid), `rows, cols >= 3`. Ports at
+/// every node: 0 = right, 1 = left, 2 = down, 3 = up (another symmetric,
+/// infeasible family for equal dimensions).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3);
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = idx(r, (c + 1) % cols);
+            let down = idx((r + 1) % rows, c);
+            b.add_edge_with_ports(idx(r, c), 0, right, 1).unwrap();
+            b.add_edge_with_ports(idx(r, c), 2, down, 3).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A complete binary tree with `levels >= 1` levels (`2^levels - 1` nodes).
+/// At an internal node, port 0 leads to the parent (except at the root),
+/// then children in left-to-right order.
+pub fn binary_tree(levels: usize) -> Graph {
+    assert!(levels >= 1);
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n.max(1));
+    for v in 1..n {
+        let parent = (v - 1) / 2;
+        b.add_edge_auto(parent, v).unwrap();
+    }
+    if n == 1 {
+        // Single node: not connected to anything; Graph::from_adjacency allows it.
+        return Graph::from_adjacency(vec![vec![]]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A caterpillar: a path of `spine` nodes (`spine >= 2`) where the `i`-th
+/// spine node carries `i` pendant leaves. All augmented views at depth 1 are
+/// distinct, so the election index is 1 — a convenient feasible family.
+pub fn caterpillar(spine: usize) -> Graph {
+    assert!(spine >= 2);
+    let mut b = GraphBuilder::new(spine);
+    for v in 0..spine - 1 {
+        b.add_edge_auto(v, v + 1).unwrap();
+    }
+    for v in 0..spine {
+        let first_leaf = b.add_nodes(v);
+        for leaf in first_leaf..first_leaf + v {
+            b.add_edge_auto(v, leaf).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A "lollipop": a clique of size `clique_size >= 3` attached to a path of
+/// `tail >= 1` extra nodes. Feasible, with small election index and diameter
+/// roughly `tail` — useful for separating `φ` from `D` in experiments.
+pub fn lollipop(clique_size: usize, tail: usize) -> Graph {
+    assert!(clique_size >= 3 && tail >= 1);
+    let mut b = GraphBuilder::new(clique_size + tail);
+    for u in 0..clique_size {
+        for v in (u + 1)..clique_size {
+            b.add_edge_auto(u, v).unwrap();
+        }
+    }
+    for i in 0..tail {
+        let prev = if i == 0 { 0 } else { clique_size + i - 1 };
+        b.add_edge_auto(prev, clique_size + i).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A connected Erdős–Rényi-style random graph on `n >= 2` nodes: a uniformly
+/// random spanning tree is generated first (guaranteeing connectivity), then
+/// every remaining pair is added independently with probability `p`. Ports
+/// are assigned by the smallest-unused rule in a random neighbor order, which
+/// breaks symmetry with high probability (such graphs are almost surely
+/// feasible with small election index).
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random spanning tree: random permutation, attach each node to a random
+    // earlier node.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let (u, v) = (order[i], order[j]);
+        edges.push((u.min(v), u.max(v)));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if edges.contains(&(u, v)) {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge_auto(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A random tree on `n >= 2` nodes (uniform attachment), with random port
+/// order.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        edges.push((u, v));
+    }
+    edges.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge_auto(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(6);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_regular());
+        // Port 0 at node v leads to v+1, arriving on its port 1.
+        for v in 0..6 {
+            assert_eq!(g.neighbor(v, 0), ((v + 1) % 6, 1));
+            assert_eq!(g.neighbor(v, 1), ((v + 5) % 6, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_too_small_panics() {
+        ring(2);
+    }
+
+    #[test]
+    fn clique_structure() {
+        let g = clique(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(5);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.degree(0), 5);
+        for leaf in 1..=5 {
+            assert_eq!(g.degree(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 2);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32);
+        assert!(g.is_regular());
+        assert_eq!(algo::diameter(&g), 4);
+        // Port i flips bit i at both endpoints.
+        assert_eq!(g.neighbor(0b0101, 1), (0b0111, 1));
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus(3, 5);
+        assert_eq!(g.num_nodes(), 15);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(4);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(algo::diameter(&g), 6);
+    }
+
+    #[test]
+    fn caterpillar_has_distinct_degrees_along_spine() {
+        let g = caterpillar(5);
+        // Spine node v has v leaves attached plus 1 or 2 spine neighbors.
+        assert_eq!(g.num_nodes(), 5 + (0 + 1 + 2 + 3 + 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_nodes(), 7);
+        assert!(algo::diameter(&g) >= 3);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let g1 = random_connected(30, 0.1, 42);
+        let g2 = random_connected(30, 0.1, 42);
+        assert_eq!(g1, g2);
+        assert!(g1.is_connected());
+        let g3 = random_connected(30, 0.1, 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_1_edges() {
+        let g = random_tree(25, 7);
+        assert_eq!(g.num_edges(), 24);
+        assert!(g.is_connected());
+    }
+}

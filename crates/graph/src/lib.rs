@@ -1,0 +1,45 @@
+//! # anet-graph
+//!
+//! Port-labeled anonymous graph substrate for the reproduction of
+//! *Impact of Knowledge on Election Time in Anonymous Networks*
+//! (Dieudonné & Pelc, SPAA 2017).
+//!
+//! The model of the paper is a simple undirected connected graph whose nodes
+//! carry **no identifiers**. At every node `v` of degree `d`, the incident
+//! edges carry distinct *port numbers* `0..d`, and the port numbering is local
+//! to each node (the two endpoints of an edge may give it unrelated ports).
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — the immutable, validated port-labeled graph representation,
+//! * [`GraphBuilder`] — incremental construction with explicit or automatic
+//!   port assignment,
+//! * [`algo`] — BFS, distances, eccentricities, diameter, shortest paths and
+//!   the port-sequence path representation used by election outputs,
+//! * [`generators`] — standard topologies (rings, cliques, paths, stars,
+//!   hypercubes, tori, trees, random connected graphs) with canonical port
+//!   numbering,
+//! * [`dot`] — Graphviz export with port labels (used to regenerate the
+//!   construction figures of the paper),
+//! * [`relabel`] — node/port permutations used by the lower-bound families.
+//!
+//! Node identifiers ([`NodeId`]) exist only *inside the simulation harness*:
+//! they are never available to the distributed algorithms themselves, which
+//! only ever see views ([`anet-views`]) and port numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod path;
+pub mod relabel;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Graph, NodeId, Port};
+pub use path::PortPath;

@@ -1,0 +1,197 @@
+//! The port-sequence path representation used by election outputs.
+//!
+//! The task of leader election in the paper requires every node `v` to output
+//! a sequence `P(v) = (p1, q1, ..., pk, qk)` of port numbers such that the
+//! corresponding path `P*(v)` starting at `v` is a **simple** path in the
+//! graph ending at the leader. [`PortPath`] is that sequence, together with
+//! the utilities needed to resolve it against a graph and to verify
+//! simplicity.
+
+use crate::graph::{Graph, NodeId, Port};
+
+/// A path coded as a sequence of port-number pairs, as output by election
+/// algorithms.
+///
+/// The `i`-th pair `(p_i, q_i)` means: the `i`-th edge of the path leaves the
+/// current node through its port `p_i` and arrives at the next node on that
+/// node's port `q_i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PortPath {
+    pairs: Vec<(Port, Port)>,
+}
+
+impl PortPath {
+    /// The empty path (a node electing itself).
+    pub fn empty() -> Self {
+        PortPath { pairs: Vec::new() }
+    }
+
+    /// Builds a path from a sequence of `(outgoing, incoming)` port pairs.
+    pub fn from_pairs(pairs: Vec<(Port, Port)>) -> Self {
+        PortPath { pairs }
+    }
+
+    /// Builds a path from the flat sequence `(p1, q1, ..., pk, qk)` used in
+    /// the paper. Returns `None` if the sequence has odd length.
+    pub fn from_flat(seq: &[Port]) -> Option<Self> {
+        if seq.len() % 2 != 0 {
+            return None;
+        }
+        Some(PortPath {
+            pairs: seq.chunks(2).map(|c| (c[0], c[1])).collect(),
+        })
+    }
+
+    /// The flat sequence `(p1, q1, ..., pk, qk)`.
+    pub fn to_flat(&self) -> Vec<Port> {
+        self.pairs.iter().flat_map(|&(p, q)| [p, q]).collect()
+    }
+
+    /// The port pairs of the path.
+    pub fn pairs(&self) -> &[(Port, Port)] {
+        &self.pairs
+    }
+
+    /// Number of edges in the path.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Appends an edge traversal to the path.
+    pub fn push(&mut self, outgoing: Port, incoming: Port) {
+        self.pairs.push((outgoing, incoming));
+    }
+
+    /// Resolves the path against `g` starting at `start`.
+    ///
+    /// Returns the sequence of visited nodes (length `len() + 1`, starting
+    /// with `start`), or `None` if some port is out of range or an incoming
+    /// port does not match the actual reverse port of the edge.
+    pub fn resolve(&self, g: &Graph, start: NodeId) -> Option<Vec<NodeId>> {
+        let mut nodes = Vec::with_capacity(self.pairs.len() + 1);
+        let mut cur = start;
+        nodes.push(cur);
+        for &(p, q) in &self.pairs {
+            let (next, rev) = g.try_neighbor(cur, p)?;
+            if rev != q {
+                return None;
+            }
+            cur = next;
+            nodes.push(cur);
+        }
+        Some(nodes)
+    }
+
+    /// The endpoint of the path when followed from `start`, or `None` if the
+    /// path is invalid in `g`.
+    pub fn endpoint(&self, g: &Graph, start: NodeId) -> Option<NodeId> {
+        self.resolve(g, start).map(|nodes| *nodes.last().unwrap())
+    }
+
+    /// Whether the path, followed from `start`, is a *simple* path of `g`
+    /// (valid and without repeated nodes).
+    pub fn is_simple(&self, g: &Graph, start: NodeId) -> bool {
+        match self.resolve(g, start) {
+            None => false,
+            Some(nodes) => {
+                let mut sorted = nodes.clone();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            }
+        }
+    }
+}
+
+/// Constructs the [`PortPath`] corresponding to a node sequence in `g`.
+///
+/// Returns `None` if consecutive nodes are not adjacent.
+pub fn port_path_of_node_sequence(g: &Graph, nodes: &[NodeId]) -> Option<PortPath> {
+    let mut path = PortPath::empty();
+    for w in nodes.windows(2) {
+        let p = g.port_to(w[0], w[1])?;
+        let (_, q) = g.neighbor(w[0], p);
+        path.push(p, q);
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_edge_auto(v, v + 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_path_resolves_to_start() {
+        let g = path_graph(3);
+        let p = PortPath::empty();
+        assert_eq!(p.endpoint(&g, 1), Some(1));
+        assert!(p.is_simple(&g, 1));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let p = PortPath::from_flat(&[0, 1, 2, 0]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.to_flat(), vec![0, 1, 2, 0]);
+        assert!(PortPath::from_flat(&[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn resolve_follows_ports() {
+        let g = path_graph(4);
+        // From node 0: port 0 leads to node 1 arriving on its port 0 (since
+        // edge {0,1} was inserted first at both), then node 1's port 1 leads
+        // to node 2.
+        let p = port_path_of_node_sequence(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(p.resolve(&g, 0), Some(vec![0, 1, 2, 3]));
+        assert_eq!(p.endpoint(&g, 0), Some(3));
+        assert!(p.is_simple(&g, 0));
+    }
+
+    #[test]
+    fn resolve_rejects_wrong_incoming_port() {
+        let g = path_graph(3);
+        let mut p = port_path_of_node_sequence(&g, &[0, 1]).unwrap();
+        // Corrupt the incoming port.
+        let (out, inc) = p.pairs()[0];
+        p = PortPath::from_pairs(vec![(out, inc + 1)]);
+        assert_eq!(p.resolve(&g, 0), None);
+        assert!(!p.is_simple(&g, 0));
+    }
+
+    #[test]
+    fn resolve_rejects_out_of_range_port() {
+        let g = path_graph(3);
+        let p = PortPath::from_pairs(vec![(7, 0)]);
+        assert_eq!(p.resolve(&g, 0), None);
+    }
+
+    #[test]
+    fn non_simple_path_detected() {
+        let g = path_graph(3);
+        // 0 -> 1 -> 0 repeats node 0.
+        let p = port_path_of_node_sequence(&g, &[0, 1, 0]).unwrap();
+        assert_eq!(p.endpoint(&g, 0), Some(0));
+        assert!(!p.is_simple(&g, 0));
+    }
+
+    #[test]
+    fn node_sequence_not_adjacent_returns_none() {
+        let g = path_graph(4);
+        assert!(port_path_of_node_sequence(&g, &[0, 2]).is_none());
+    }
+}

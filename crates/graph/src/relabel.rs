@@ -1,0 +1,212 @@
+//! Node and port relabeling utilities.
+//!
+//! The lower-bound constructions of the paper produce families of graphs that
+//! differ only by node permutations ("isomorphic copies") or by cyclic shifts
+//! of port numbers at selected nodes (family `F(x)`, necklace codes). These
+//! helpers implement both transformations while preserving validity.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::{Graph, NodeId, Port};
+
+/// Returns the isomorphic copy of `g` in which node `v` of `g` becomes node
+/// `perm[v]`. Port numbers are preserved ("isomorphic means all port numbers
+/// are preserved" in the paper).
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn permute_nodes(g: &Graph, perm: &[NodeId]) -> Graph {
+    let n = g.num_nodes();
+    assert_eq!(perm.len(), n, "permutation length must equal node count");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+    let mut adj: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
+    for v in g.nodes() {
+        let new_v = perm[v];
+        adj[new_v] = g
+            .adjacency()[v]
+            .iter()
+            .map(|&(u, q)| (perm[u], q))
+            .collect();
+    }
+    Graph::from_adjacency(adj).expect("node permutation preserves validity")
+}
+
+/// Returns a copy of `g` where, at every node `v` in `nodes`, every port `p`
+/// is replaced by `(p + shift(v)) mod degree(v)`.
+///
+/// This is exactly the transformation used to derive the cliques `C_t` of the
+/// family `F(x)` and the necklace codes from a base graph.
+pub fn shift_ports_at<F>(g: &Graph, nodes: &[NodeId], shift: F) -> Graph
+where
+    F: Fn(NodeId) -> usize,
+{
+    let n = g.num_nodes();
+    let shifted: Vec<bool> = {
+        let mut s = vec![false; n];
+        for &v in nodes {
+            s[v] = true;
+        }
+        s
+    };
+    let new_port = |v: NodeId, p: Port| -> Port {
+        if shifted[v] {
+            (p + shift(v)) % g.degree(v)
+        } else {
+            p
+        }
+    };
+    let mut adj: Vec<Vec<(NodeId, Port)>> = (0..n)
+        .map(|v| vec![(usize::MAX, usize::MAX); g.degree(v)])
+        .collect();
+    for v in g.nodes() {
+        for (p, u, q) in g.ports(v) {
+            adj[v][new_port(v, p)] = (u, new_port(u, q));
+        }
+    }
+    Graph::from_adjacency(adj).expect("port shift preserves validity")
+}
+
+/// Returns an isomorphic copy of `g` under a pseudo-random node permutation
+/// derived from `seed`. Useful for testing that algorithms do not depend on
+/// simulator-level node identifiers.
+pub fn random_node_permutation(g: &Graph, seed: u64) -> (Graph, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<NodeId> = (0..g.num_nodes()).collect();
+    perm.shuffle(&mut rng);
+    (permute_nodes(g, &perm), perm)
+}
+
+/// Builds the disjoint union of `graphs` (as one adjacency structure) plus the
+/// listed `bridges`, each bridge given as
+/// `((graph_index, node, port_or_auto), (graph_index, node, port_or_auto))`.
+///
+/// The result is the `G1 * G2 * ... * Gr` composition of Section 4 of the
+/// paper when each consecutive pair of components is joined by one bridge.
+/// Port slots specified as `None` are appended after the component's existing
+/// ports (i.e. the bridge gets the next free port at that endpoint).
+///
+/// Returns the composed graph together with the node-id offset of every
+/// component, so callers can translate component-local node ids.
+pub fn compose_with_bridges(
+    graphs: &[&Graph],
+    bridges: &[((usize, NodeId, Option<Port>), (usize, NodeId, Option<Port>))],
+) -> (Graph, Vec<usize>) {
+    let mut offsets = Vec::with_capacity(graphs.len());
+    let mut total = 0usize;
+    for g in graphs {
+        offsets.push(total);
+        total += g.num_nodes();
+    }
+    // Start from the union of adjacencies.
+    let mut adj: Vec<Vec<(NodeId, Port)>> = Vec::with_capacity(total);
+    for (gi, g) in graphs.iter().enumerate() {
+        for v in g.nodes() {
+            adj.push(
+                g.adjacency()[v]
+                    .iter()
+                    .map(|&(u, q)| (u + offsets[gi], q))
+                    .collect(),
+            );
+        }
+    }
+    // Add bridges.
+    for &((gi, u, pu), (gj, v, pv)) in bridges {
+        let gu = offsets[gi] + u;
+        let gv = offsets[gj] + v;
+        let pu = pu.unwrap_or(adj[gu].len());
+        let pv = pv.unwrap_or(adj[gv].len());
+        assert!(pu >= adj[gu].len(), "bridge port at u must be a new port");
+        assert!(pv >= adj[gv].len(), "bridge port at v must be a new port");
+        assert_eq!(pu, adj[gu].len(), "bridge ports must be contiguous");
+        assert_eq!(pv, adj[gv].len(), "bridge ports must be contiguous");
+        adj[gu].push((gv, pv));
+        adj[gv].push((gu, pu));
+    }
+    (
+        Graph::from_adjacency(adj).expect("composition with bridges must be valid"),
+        offsets,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn permute_nodes_preserves_structure() {
+        let g = generators::ring(5);
+        let perm = vec![2, 3, 4, 0, 1];
+        let h = permute_nodes(&g, &perm);
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.num_edges(), 5);
+        // Edge {0,1} with ports (0,1) in g becomes edge {2,3} with same ports.
+        assert_eq!(h.neighbor(2, 0), (3, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn permute_nodes_rejects_non_permutation() {
+        let g = generators::ring(4);
+        permute_nodes(&g, &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shift_ports_rotates_port_numbers() {
+        let g = generators::clique(4);
+        let h = shift_ports_at(&g, &[0], |_| 1);
+        // Node 0's old port p is now (p+1) mod 3; the graph stays valid and
+        // isomorphic as an unlabeled graph.
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert!(h.validate().is_ok());
+        // The neighbor formerly on port 2 is now on port 0.
+        assert_eq!(h.neighbor(0, 0).0, g.neighbor(0, 2).0);
+    }
+
+    #[test]
+    fn shift_by_zero_is_identity() {
+        let g = generators::torus(3, 3);
+        let h = shift_ports_at(&g, &[1, 2, 3], |_| 0);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn random_permutation_is_isomorphic_copy() {
+        let g = generators::lollipop(4, 3);
+        let (h, perm) = random_node_permutation(&g, 9);
+        assert_eq!(g.degree_sequence(), h.degree_sequence());
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), h.degree(perm[v]));
+        }
+    }
+
+    #[test]
+    fn compose_with_bridges_joins_components() {
+        let a = generators::ring(3);
+        let b = generators::ring(4);
+        let (g, offsets) = compose_with_bridges(
+            &[&a, &b],
+            &[((0, 0, None), (1, 0, None))],
+        );
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 3 + 4 + 1);
+        assert!(g.is_connected());
+        assert_eq!(offsets, vec![0, 3]);
+        // The bridge uses the next free port (2) at both ring nodes.
+        assert_eq!(g.neighbor(0, 2), (3, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn compose_rejects_non_contiguous_bridge_port() {
+        let a = generators::ring(3);
+        let b = generators::ring(3);
+        compose_with_bridges(&[&a, &b], &[((0, 0, Some(5)), (1, 0, None))]);
+    }
+}

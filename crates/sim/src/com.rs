@@ -1,0 +1,227 @@
+//! The `COM(i)` view-exchange subroutine (Algorithm 1 of the paper).
+//!
+//! > ```text
+//! > Algorithm COM(i)
+//! >   send B^i(u) to all neighbors;
+//! >   foreach neighbor v of u: receive B^i(v) from v
+//! > ```
+//!
+//! When all nodes repeat the subroutine for `i = 0, ..., t-1`, every node
+//! acquires its augmented truncated view at depth `t`. [`ComNode`] implements
+//! exactly this behaviour as a [`NodeAlgorithm`]: in round `i` it sends its
+//! current `B^i` (together with the local port number of the edge, which the
+//! sender knows) and assembles `B^{i+1}` from the received views. This makes
+//! the statement "the knowledge of a node after `r` rounds is `B^r(v)`"
+//! executable, and it is the communication layer of the minimum-time election
+//! algorithm.
+
+use anet_graph::{Graph, PortPath};
+use anet_views::AugmentedView;
+
+use crate::runner::{NodeAlgorithm, SyncRunner};
+
+/// The message exchanged by `COM`: the sender's current view together with
+/// the sender-side port number of the edge it is sent on. The sender-side
+/// port is part of what a neighbor learns in the paper's model (it appears as
+/// the reverse port in the receiver's next view).
+#[derive(Debug, Clone)]
+pub struct ViewMessage {
+    /// The port number at the *sender* of the edge this message travels on.
+    pub sender_port: usize,
+    /// The sender's current augmented truncated view `B^i`.
+    pub view: AugmentedView,
+}
+
+/// A node algorithm that runs `COM(0), ..., COM(target_depth - 1)` and then
+/// halts, handing its accumulated view `B^target_depth(u)` to a continuation
+/// that produces the election output.
+pub struct ComNode<F>
+where
+    F: FnMut(&AugmentedView) -> PortPath,
+{
+    degree: usize,
+    target_depth: usize,
+    /// The current view `B^i(u)`; `B^0(u)` right after `init`.
+    current: Option<AugmentedView>,
+    /// What to do with `B^target_depth(u)` once acquired.
+    finish: F,
+}
+
+impl<F> ComNode<F>
+where
+    F: FnMut(&AugmentedView) -> PortPath,
+{
+    /// Creates a node that exchanges views for `target_depth` rounds and then
+    /// outputs `finish(B^target_depth(u))`.
+    pub fn new(target_depth: usize, finish: F) -> Self {
+        ComNode {
+            degree: 0,
+            target_depth,
+            current: None,
+            finish,
+        }
+    }
+
+    /// The view the node currently holds (for inspection in tests).
+    pub fn current_view(&self) -> Option<&AugmentedView> {
+        self.current.as_ref()
+    }
+}
+
+impl<F> NodeAlgorithm for ComNode<F>
+where
+    F: FnMut(&AugmentedView) -> PortPath,
+{
+    type Message = ViewMessage;
+
+    fn init(&mut self, degree: usize) {
+        self.degree = degree;
+        // B^0(u): a single node labeled by the degree.
+        self.current = Some(AugmentedView::from_parts(degree, Vec::new()));
+    }
+
+    fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
+        let view = self.current.clone().expect("initialized");
+        (0..self.degree)
+            .map(|p| {
+                Some(ViewMessage {
+                    sender_port: p,
+                    view: view.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn receive(
+        &mut self,
+        round: usize,
+        incoming: Vec<Option<ViewMessage>>,
+    ) -> Option<PortPath> {
+        if self.target_depth == 0 {
+            // No communication needed: B^0 is known locally.
+            let view = self.current.as_ref().expect("initialized");
+            return Some((self.finish)(view));
+        }
+        // Assemble B^{round+1}(u) from the B^{round}(neighbor)s received in
+        // port order; the child on port p records the neighbor's port of the
+        // connecting edge (the sender_port of the message that arrived on p).
+        let children: Vec<(usize, AugmentedView)> = incoming
+            .into_iter()
+            .map(|m| {
+                let m = m.expect("every neighbor sends in every COM round");
+                (m.sender_port, m.view)
+            })
+            .collect();
+        self.current = Some(AugmentedView::from_parts(self.degree, children));
+        if round + 1 == self.target_depth {
+            let view = self.current.as_ref().expect("assembled");
+            Some((self.finish)(view))
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs the `COM` exchange for `depth` rounds on every node of `g` through
+/// the message-passing engine and returns the acquired `B^depth(v)` per node.
+///
+/// This is the executable counterpart of "after `t` repetitions of `COM`,
+/// every node has its augmented truncated view at depth `t`"; tests compare
+/// the result with the centrally computed views of
+/// [`AugmentedView::compute_all`].
+pub fn exchange_views(g: &Graph, depth: usize) -> Vec<AugmentedView> {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let collected: Arc<Mutex<Vec<Option<AugmentedView>>>> =
+        Arc::new(Mutex::new(vec![None; g.num_nodes()]));
+    // The runner creates node instances in node-id order, so the factory can
+    // hand each instance the slot to deposit its final view into. The slot
+    // index is harness bookkeeping, not information available to the node.
+    let next_slot = Arc::new(Mutex::new(0usize));
+    let runner = SyncRunner::new(g, depth + 1);
+    let outcome = runner.run(|_degree| {
+        let slot = {
+            let mut s = next_slot.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let collected = Arc::clone(&collected);
+        ComNode::new(depth, move |view: &AugmentedView| {
+            collected.lock()[slot] = Some(view.clone());
+            PortPath::empty()
+        })
+    });
+    assert!(outcome.all_halted(), "COM exchange must terminate");
+    let views = collected.lock();
+    views
+        .iter()
+        .map(|v| v.clone().expect("every node stored its view"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn exchange_views_matches_central_computation() {
+        let graphs = [
+            generators::ring(5),
+            generators::star(4),
+            generators::lollipop(4, 3),
+            generators::caterpillar(4),
+        ];
+        for g in &graphs {
+            for depth in 0..3 {
+                let exchanged = exchange_views(g, depth);
+                let central = AugmentedView::compute_all(g, depth);
+                assert_eq!(exchanged, central, "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_views_depth_equals_rounds_used() {
+        let g = generators::ring(6);
+        let runner = SyncRunner::new(&g, 10);
+        let outcome = runner.run(|_| ComNode::new(3, |_v| PortPath::empty()));
+        assert!(outcome.all_halted());
+        assert_eq!(outcome.election_time(), Some(3));
+    }
+
+    #[test]
+    fn depth_zero_requires_no_information_from_neighbors() {
+        let g = generators::clique(4);
+        let views = exchange_views(&g, 0);
+        for v in &views {
+            assert_eq!(v.depth(), 0);
+            assert_eq!(v.degree(), 3);
+        }
+    }
+
+    #[test]
+    fn assembled_views_deepen_by_one_each_round() {
+        let g = generators::torus(3, 3);
+        for depth in 1..4 {
+            let views = exchange_views(&g, depth);
+            assert!(views.iter().all(|v| v.depth() == depth));
+        }
+    }
+
+    #[test]
+    fn exchange_views_is_identity_invariant() {
+        // Permuting node identifiers must permute the computed views: views
+        // depend only on the structure, not on simulator identifiers.
+        use anet_graph::relabel;
+        let g = generators::lollipop(5, 3);
+        let (h, perm) = relabel::random_node_permutation(&g, 77);
+        let vg = exchange_views(&g, 2);
+        let vh = exchange_views(&h, 2);
+        for v in g.nodes() {
+            assert_eq!(vg[v], vh[perm[v]]);
+        }
+    }
+}

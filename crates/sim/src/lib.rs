@@ -1,0 +1,35 @@
+//! # anet-sim
+//!
+//! A synchronous LOCAL-model simulator for anonymous port-labeled networks.
+//!
+//! The paper's model (Section 1): communication proceeds in synchronous
+//! rounds, all nodes start simultaneously, and in each round every node can
+//! exchange arbitrary messages with all of its neighbors and perform
+//! arbitrary local computation. The information a node `v` has after `r`
+//! rounds is exactly its augmented truncated view `B^r(v)`.
+//!
+//! This crate provides:
+//!
+//! * [`NodeAlgorithm`] — the trait a node-local algorithm implements
+//!   (initialize with the local degree and the common advice, send one
+//!   message per port, receive one message per port, optionally halt with an
+//!   election output),
+//! * [`SyncRunner`] — the deterministic sequential round engine,
+//! * [`parallel::ParallelRunner`] — a crossbeam-based executor that runs the
+//!   per-node send/receive phases on worker threads; it produces exactly the
+//!   same transcript as the sequential engine (checked by tests),
+//! * [`com`] — the `COM(i)` view-exchange subroutine (Algorithm 1): nodes
+//!   repeatedly exchange their augmented truncated views, so that after `t`
+//!   rounds every node holds `B^t(v)`; this is both a building block of the
+//!   election algorithms and the executable witness of the "knowledge after
+//!   `r` rounds = `B^r(v)`" claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod com;
+pub mod parallel;
+pub mod runner;
+
+pub use com::{exchange_views, ComNode};
+pub use runner::{NodeAlgorithm, RunOutcome, RunStats, SyncRunner};

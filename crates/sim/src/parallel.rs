@@ -1,0 +1,216 @@
+//! A parallel executor for the synchronous LOCAL model.
+//!
+//! The LOCAL model is a synchronous round structure, so the per-round
+//! send/receive phases of independent nodes are embarrassingly parallel. This
+//! executor splits the node set into chunks processed by crossbeam scoped
+//! threads, with a barrier between phases implied by the scope joins. It
+//! produces exactly the same outcome as [`SyncRunner`](crate::SyncRunner) —
+//! node algorithms are deterministic and see the same inputs in the same
+//! rounds — which is asserted by the equivalence tests.
+
+use anet_graph::{Graph, PortPath};
+
+use crate::runner::{NodeAlgorithm, RunOutcome, RunStats};
+
+/// A multi-threaded executor of the synchronous LOCAL model.
+pub struct ParallelRunner<'g> {
+    graph: &'g Graph,
+    max_rounds: usize,
+    num_threads: usize,
+}
+
+impl<'g> ParallelRunner<'g> {
+    /// Creates a runner over `graph` using `num_threads` worker threads
+    /// (clamped to at least 1) and aborting after `max_rounds` rounds.
+    pub fn new(graph: &'g Graph, max_rounds: usize, num_threads: usize) -> Self {
+        ParallelRunner {
+            graph,
+            max_rounds,
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// Runs one node algorithm instance per node; see
+    /// [`SyncRunner::run`](crate::SyncRunner::run) for the contract. Requires
+    /// `Send` node states and messages so they can be processed on worker
+    /// threads.
+    pub fn run<A, F>(&self, mut factory: F) -> RunOutcome
+    where
+        A: NodeAlgorithm + Send,
+        A::Message: Send,
+        F: FnMut(usize) -> A,
+    {
+        let g = self.graph;
+        let n = g.num_nodes();
+        let mut nodes: Vec<A> = (0..n)
+            .map(|v| {
+                let mut a = factory(g.degree(v));
+                a.init(g.degree(v));
+                a
+            })
+            .collect();
+        let mut outputs: Vec<Option<PortPath>> = vec![None; n];
+        let mut halt_round: Vec<Option<usize>> = vec![None; n];
+        let mut stats = RunStats::default();
+        let chunk = n.div_ceil(self.num_threads).max(1);
+
+        for round in 0..self.max_rounds {
+            if outputs.iter().all(Option::is_some) {
+                break;
+            }
+            stats.rounds += 1;
+
+            // Phase 1: sends, computed in parallel over node chunks.
+            let mut outgoing: Vec<Option<Vec<Option<A::Message>>>> = vec![None; n];
+            let halted: Vec<bool> = outputs.iter().map(Option::is_some).collect();
+            crossbeam::thread::scope(|scope| {
+                let halted = &halted;
+                for (chunk_idx, (node_chunk, out_chunk)) in nodes
+                    .chunks_mut(chunk)
+                    .zip(outgoing.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        let base = chunk_idx * chunk;
+                        for (off, (node, slot)) in
+                            node_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                        {
+                            let v = base + off;
+                            if halted[v] {
+                                continue;
+                            }
+                            *slot = Some(node.send(round));
+                        }
+                    });
+                }
+            })
+            .expect("send phase workers do not panic");
+
+            // Phase 2: routing (cheap, sequential).
+            let mut incoming: Vec<Vec<Option<A::Message>>> =
+                (0..n).map(|v| vec![None; g.degree(v)]).collect();
+            for v in 0..n {
+                if let Some(msgs) = outgoing[v].take() {
+                    assert_eq!(msgs.len(), g.degree(v), "send must cover every port");
+                    for (p, msg) in msgs.into_iter().enumerate() {
+                        if let Some(msg) = msg {
+                            let (u, q) = g.neighbor(v, p);
+                            stats.messages += 1;
+                            incoming[u][q] = Some(msg);
+                        }
+                    }
+                }
+            }
+
+            // Phase 3: receives, in parallel over node chunks.
+            let mut decisions: Vec<Option<PortPath>> = vec![None; n];
+            crossbeam::thread::scope(|scope| {
+                let halted = &halted;
+                for (chunk_idx, ((node_chunk, in_chunk), dec_chunk)) in nodes
+                    .chunks_mut(chunk)
+                    .zip(incoming.chunks_mut(chunk))
+                    .zip(decisions.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        let base = chunk_idx * chunk;
+                        for (off, ((node, inbox), dec)) in node_chunk
+                            .iter_mut()
+                            .zip(in_chunk.iter_mut())
+                            .zip(dec_chunk.iter_mut())
+                            .enumerate()
+                        {
+                            let v = base + off;
+                            if halted[v] {
+                                continue;
+                            }
+                            *dec = node.receive(round, std::mem::take(inbox));
+                        }
+                    });
+                }
+            })
+            .expect("receive phase workers do not panic");
+
+            for (v, dec) in decisions.into_iter().enumerate() {
+                if let Some(path) = dec {
+                    outputs[v] = Some(path);
+                    halt_round[v] = Some(round);
+                }
+            }
+        }
+
+        RunOutcome {
+            outputs,
+            halt_round,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::com::ComNode;
+    use crate::runner::SyncRunner;
+    use anet_graph::generators;
+    use anet_views::AugmentedView;
+
+    #[test]
+    fn parallel_matches_sequential_on_com_exchange() {
+        let graphs = [
+            generators::lollipop(5, 4),
+            generators::torus(3, 4),
+            generators::caterpillar(5),
+        ];
+        for g in &graphs {
+            for threads in [1, 2, 4] {
+                let seq = SyncRunner::new(g, 10).run(|_| ComNode::new(2, |_v| PortPath::empty()));
+                let par = ParallelRunner::new(g, 10, threads)
+                    .run(|_| ComNode::new(2, |_v| PortPath::empty()));
+                assert_eq!(seq.halt_round, par.halt_round);
+                assert_eq!(seq.outputs, par.outputs);
+                assert_eq!(seq.stats, par.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exchange_views_match_central_computation() {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        let g = generators::random_connected(40, 0.08, 5);
+        let depth = 2;
+        let collected: Arc<Mutex<Vec<Option<AugmentedView>>>> =
+            Arc::new(Mutex::new(vec![None; g.num_nodes()]));
+        let next_slot = Arc::new(Mutex::new(0usize));
+        let runner = ParallelRunner::new(&g, depth + 1, 4);
+        let outcome = runner.run(|_| {
+            let slot = {
+                let mut s = next_slot.lock();
+                let v = *s;
+                *s += 1;
+                v
+            };
+            let collected = Arc::clone(&collected);
+            ComNode::new(depth, move |view: &AugmentedView| {
+                collected.lock()[slot] = Some(view.clone());
+                PortPath::empty()
+            })
+        });
+        assert!(outcome.all_halted());
+        let central = AugmentedView::compute_all(&g, depth);
+        let views = collected.lock();
+        for v in g.nodes() {
+            assert_eq!(views[v].as_ref(), Some(&central[v]));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let g = generators::path(3);
+        let outcome =
+            ParallelRunner::new(&g, 5, 16).run(|_| ComNode::new(1, |_v| PortPath::empty()));
+        assert!(outcome.all_halted());
+    }
+}

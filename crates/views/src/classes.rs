@@ -1,0 +1,261 @@
+//! Partition-refinement computation of view-equivalence classes.
+//!
+//! For every depth `d`, two nodes `u`, `v` satisfy `B^d(u) == B^d(v)` iff they
+//! fall in the same class of the refinement below. This avoids materializing
+//! view trees (whose size grows as `degree^depth`) and is the engine behind
+//! the election-index computation and the simulator's view oracle.
+
+use std::collections::BTreeMap;
+
+use anet_graph::{Graph, NodeId, Port};
+
+/// A dense class identifier. Classes at depth `d` are numbered `0..k_d` in
+/// the canonical order of the corresponding views (class 0 is the
+/// lexicographically smallest view at that depth).
+pub type ClassId = usize;
+
+/// Table of view-equivalence classes for all depths `0..=max_depth`.
+///
+/// The invariant tying the table to the explicit views of
+/// [`AugmentedView`](crate::AugmentedView) is:
+///
+/// * `class_of(d, u) == class_of(d, v)` ⇔ `B^d(u) == B^d(v)`, and
+/// * `class_of(d, u) < class_of(d, v)` ⇔ `B^d(u) < B^d(v)` in the canonical
+///   order.
+///
+/// Both are checked by property tests against the explicit trees.
+#[derive(Debug, Clone)]
+pub struct ViewClasses {
+    /// `classes[d][v]` = class id of `B^d(v)`.
+    classes: Vec<Vec<ClassId>>,
+    /// `num_classes[d]` = number of distinct views at depth `d`.
+    num_classes: Vec<usize>,
+}
+
+/// The refinement key of a node at depth `d`: its degree together with, per
+/// port, the reverse port and the class of the neighbor at depth `d-1`.
+/// Ordering of keys mirrors the canonical order on views.
+type Key = (usize, Vec<(Port, ClassId)>);
+
+impl ViewClasses {
+    /// Computes classes for all depths `0..=max_depth`.
+    pub fn compute(g: &Graph, max_depth: usize) -> Self {
+        let n = g.num_nodes();
+        let mut classes: Vec<Vec<ClassId>> = Vec::with_capacity(max_depth + 1);
+        let mut num_classes = Vec::with_capacity(max_depth + 1);
+
+        // Depth 0: classes by degree, ranked by degree value.
+        let keys0: Vec<Key> = (0..n).map(|v| (g.degree(v), Vec::new())).collect();
+        let (c0, k0) = rank_keys(&keys0);
+        classes.push(c0);
+        num_classes.push(k0);
+
+        for d in 1..=max_depth {
+            let prev = &classes[d - 1];
+            let keys: Vec<Key> = (0..n)
+                .map(|v| {
+                    (
+                        g.degree(v),
+                        g.ports(v).map(|(_, u, q)| (q, prev[u])).collect(),
+                    )
+                })
+                .collect();
+            let (c, k) = rank_keys(&keys);
+            classes.push(c);
+            num_classes.push(k);
+        }
+        ViewClasses {
+            classes,
+            num_classes,
+        }
+    }
+
+    /// Computes classes depth by depth until the partition stabilizes (the
+    /// number of classes stops growing), and returns the table together with
+    /// the first depth at which the partition is stable.
+    ///
+    /// For the port-ordered refinement used here, once the class count does
+    /// not grow from depth `d-1` to depth `d`, the partition is the same at
+    /// every larger depth, so views at depth `>= d-1` separate exactly the
+    /// same node pairs as infinite views.
+    pub fn compute_until_stable(g: &Graph) -> (Self, usize) {
+        let n = g.num_nodes();
+        let mut table = ViewClasses::compute(g, 0);
+        let mut d = 0;
+        loop {
+            if table.num_classes[d] == n {
+                return (table, d);
+            }
+            // Extend to depth d+1.
+            let prev = &table.classes[d];
+            let keys: Vec<Key> = (0..n)
+                .map(|v| {
+                    (
+                        g.degree(v),
+                        g.ports(v).map(|(_, u, q)| (q, prev[u])).collect(),
+                    )
+                })
+                .collect();
+            let (c, k) = rank_keys(&keys);
+            let stable = k == table.num_classes[d];
+            table.classes.push(c);
+            table.num_classes.push(k);
+            d += 1;
+            if stable {
+                return (table, d);
+            }
+        }
+    }
+
+    /// Largest depth stored in the table.
+    pub fn max_depth(&self) -> usize {
+        self.classes.len() - 1
+    }
+
+    /// The class of `B^d(v)`.
+    ///
+    /// # Panics
+    /// Panics if `d` exceeds [`max_depth`](Self::max_depth).
+    pub fn class_of(&self, d: usize, v: NodeId) -> ClassId {
+        self.classes[d][v]
+    }
+
+    /// Number of distinct views at depth `d`.
+    pub fn num_classes(&self, d: usize) -> usize {
+        self.num_classes[d]
+    }
+
+    /// Whether all nodes have distinct views at depth `d`.
+    pub fn all_distinct_at(&self, d: usize) -> bool {
+        self.num_classes[d] == self.classes[d].len()
+    }
+
+    /// The nodes whose view at depth `d` is the lexicographically smallest
+    /// (class 0) — the candidates for "the node with the smallest view".
+    pub fn smallest_view_nodes(&self, d: usize) -> Vec<NodeId> {
+        self.classes[d]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == 0)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// All classes at depth `d`, one entry per node.
+    pub fn classes_at(&self, d: usize) -> &[ClassId] {
+        &self.classes[d]
+    }
+}
+
+/// Ranks keys: assigns to each position the rank of its key in the sorted
+/// order of distinct keys. Returns the ranks and the number of distinct keys.
+fn rank_keys(keys: &[Key]) -> (Vec<ClassId>, usize) {
+    let mut distinct: BTreeMap<&Key, ClassId> = BTreeMap::new();
+    for k in keys {
+        let next = distinct.len();
+        distinct.entry(k).or_insert(next);
+    }
+    // BTreeMap iterates in key order; re-rank so class ids follow that order.
+    let mut ordered: Vec<(&Key, ClassId)> = distinct.iter().map(|(k, &v)| (*k, v)).collect();
+    ordered.sort_by(|a, b| a.0.cmp(b.0));
+    let mut remap = vec![0; ordered.len()];
+    for (rank, (_, old)) in ordered.iter().enumerate() {
+        remap[*old] = rank;
+    }
+    let mut final_map: BTreeMap<&Key, ClassId> = BTreeMap::new();
+    for (k, old) in distinct {
+        final_map.insert(k, remap[old]);
+    }
+    let ranks = keys.iter().map(|k| final_map[k]).collect();
+    (ranks, final_map.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::AugmentedView;
+    use anet_graph::generators;
+
+    fn check_against_explicit(g: &Graph, max_depth: usize) {
+        let table = ViewClasses::compute(g, max_depth);
+        for d in 0..=max_depth {
+            let views = AugmentedView::compute_all(g, d);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        table.class_of(d, u) == table.class_of(d, v),
+                        views[u] == views[v],
+                        "class equality must match view equality (depth {d})"
+                    );
+                    assert_eq!(
+                        table.class_of(d, u).cmp(&table.class_of(d, v)),
+                        views[u].cmp(&views[v]),
+                        "class order must match view order (depth {d})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_match_explicit_views_on_structured_graphs() {
+        check_against_explicit(&generators::star(4), 3);
+        check_against_explicit(&generators::lollipop(4, 3), 3);
+        check_against_explicit(&generators::caterpillar(4), 3);
+        check_against_explicit(&generators::path(6), 4);
+    }
+
+    #[test]
+    fn ring_has_single_class_at_every_depth() {
+        let g = generators::ring(7);
+        let table = ViewClasses::compute(&g, 7);
+        for d in 0..=7 {
+            assert_eq!(table.num_classes(d), 1);
+        }
+        assert!(!table.all_distinct_at(7));
+    }
+
+    #[test]
+    fn depth_zero_classes_are_degrees() {
+        let g = generators::star(3);
+        let table = ViewClasses::compute(&g, 0);
+        assert_eq!(table.num_classes(0), 2);
+        // Leaves (degree 1) come before the center (degree 3) in canonical order.
+        assert_eq!(table.class_of(0, 1), 0);
+        assert_eq!(table.class_of(0, 0), 1);
+    }
+
+    #[test]
+    fn compute_until_stable_reaches_discrete_partition_when_feasible() {
+        let g = generators::caterpillar(5);
+        let (table, stable_at) = ViewClasses::compute_until_stable(&g);
+        assert!(table.all_distinct_at(stable_at));
+    }
+
+    #[test]
+    fn compute_until_stable_detects_symmetric_graphs() {
+        let g = generators::hypercube(3);
+        let (table, stable_at) = ViewClasses::compute_until_stable(&g);
+        assert!(!table.all_distinct_at(stable_at));
+        assert_eq!(table.num_classes(stable_at), 1);
+    }
+
+    #[test]
+    fn smallest_view_nodes_agree_with_explicit_minimum() {
+        let g = generators::lollipop(5, 4);
+        let table = ViewClasses::compute(&g, 3);
+        let views = AugmentedView::compute_all(&g, 3);
+        let min_view = views.iter().min().unwrap();
+        let expected: Vec<NodeId> = g.nodes().filter(|&v| &views[v] == min_view).collect();
+        assert_eq!(table.smallest_view_nodes(3), expected);
+    }
+
+    #[test]
+    fn class_count_is_monotone_in_depth() {
+        let g = generators::random_connected(40, 0.08, 11);
+        let table = ViewClasses::compute(&g, 6);
+        for d in 1..=6 {
+            assert!(table.num_classes(d) >= table.num_classes(d - 1));
+        }
+    }
+}

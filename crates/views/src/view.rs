@@ -1,0 +1,327 @@
+//! Explicit augmented truncated view trees `B^l(v)`.
+
+use std::cmp::Ordering;
+
+use anet_graph::{Graph, NodeId, Port};
+
+/// The augmented truncated view `B^l(v)` of a node, materialized as a tree.
+///
+/// `B^0(v)` is a single node labeled by the degree of `v` in the graph. For
+/// `l > 0`, the root has one child per port `p` of `v` (in port order); the
+/// child records the port of the edge at the neighbor's side (the *reverse
+/// port*) and is itself the augmented truncated view `B^{l-1}` of that
+/// neighbor.
+///
+/// Equality of two `AugmentedView`s (same depth) is exactly equality of the
+/// paper's `B^l` objects. The `Ord` implementation is the canonical total
+/// order used throughout the reproduction in place of the paper's
+/// "lexicographic order of binary representations" (any fixed canonical order
+/// is equivalent for the algorithms).
+///
+/// Note that view trees grow roughly as `degree^depth`; they are intended for
+/// the small depths used by the minimum-time election algorithm. Large-depth
+/// comparisons should go through [`crate::ViewClasses`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AugmentedView {
+    /// Degree (in the graph) of the node this view is rooted at.
+    degree: usize,
+    /// Children in port order: `(reverse_port, subview)`. Empty iff depth 0.
+    children: Vec<(Port, AugmentedView)>,
+    /// Depth `l` of the truncation.
+    depth: usize,
+}
+
+impl AugmentedView {
+    /// Computes `B^depth(v)` in `g`.
+    pub fn compute(g: &Graph, v: NodeId, depth: usize) -> Self {
+        if depth == 0 {
+            return AugmentedView {
+                degree: g.degree(v),
+                children: Vec::new(),
+                depth: 0,
+            };
+        }
+        let children = g
+            .ports(v)
+            .map(|(_, u, q)| (q, AugmentedView::compute(g, u, depth - 1)))
+            .collect();
+        AugmentedView {
+            degree: g.degree(v),
+            children,
+            depth,
+        }
+    }
+
+    /// Computes `B^depth(v)` for every node of `g`, sharing work across
+    /// depths (dynamic programming over depth). Returns one view per node.
+    pub fn compute_all(g: &Graph, depth: usize) -> Vec<AugmentedView> {
+        let n = g.num_nodes();
+        let mut level: Vec<AugmentedView> = (0..n)
+            .map(|v| AugmentedView {
+                degree: g.degree(v),
+                children: Vec::new(),
+                depth: 0,
+            })
+            .collect();
+        for d in 1..=depth {
+            let next: Vec<AugmentedView> = (0..n)
+                .map(|v| AugmentedView {
+                    degree: g.degree(v),
+                    children: g
+                        .ports(v)
+                        .map(|(_, u, q)| (q, level[u].clone()))
+                        .collect(),
+                    depth: d,
+                })
+                .collect();
+            level = next;
+        }
+        level
+    }
+
+    /// Assembles a view from its root degree and its children, as a node of
+    /// the `COM` subroutine does when it combines the views received from its
+    /// neighbors (`children[p] = (reverse_port, B^{d-1}(neighbor on port p))`).
+    ///
+    /// With an empty `children` list this is `B^0` of a node of the given
+    /// degree. Otherwise all children must have the same depth and there must
+    /// be exactly `degree` of them; the resulting view has depth one more
+    /// than the children.
+    ///
+    /// # Panics
+    /// Panics if the children are inconsistent (wrong count or mixed depths).
+    pub fn from_parts(degree: usize, children: Vec<(Port, AugmentedView)>) -> Self {
+        if children.is_empty() {
+            return AugmentedView {
+                degree,
+                children,
+                depth: 0,
+            };
+        }
+        assert_eq!(
+            children.len(),
+            degree,
+            "a positive-depth view has one child per port"
+        );
+        let child_depth = children[0].1.depth;
+        assert!(
+            children.iter().all(|(_, c)| c.depth == child_depth),
+            "all children must have the same depth"
+        );
+        AugmentedView {
+            degree,
+            children,
+            depth: child_depth + 1,
+        }
+    }
+
+    /// Degree of the root node (the label of the root in the augmented view).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Truncation depth `l` of this view.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The children of the root, in port order, as `(reverse_port, subview)`.
+    pub fn children(&self) -> &[(Port, AugmentedView)] {
+        &self.children
+    }
+
+    /// The subview rooted at the child reached through port `p` of the root,
+    /// together with the reverse port, if the view has positive depth.
+    pub fn child(&self, p: Port) -> Option<(Port, &AugmentedView)> {
+        self.children.get(p).map(|(q, sub)| (*q, sub))
+    }
+
+    /// The view of the same root truncated at a smaller depth `d <= depth`.
+    pub fn truncate(&self, d: usize) -> AugmentedView {
+        assert!(d <= self.depth, "cannot truncate to a larger depth");
+        if d == self.depth {
+            return self.clone();
+        }
+        AugmentedView {
+            degree: self.degree,
+            children: if d == 0 {
+                Vec::new()
+            } else {
+                self.children
+                    .iter()
+                    .map(|(q, sub)| (*q, sub.truncate(d - 1)))
+                    .collect()
+            },
+            depth: d,
+        }
+    }
+
+    /// Number of tree nodes in this view (root included).
+    pub fn size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|(_, sub)| sub.size())
+            .sum::<usize>()
+    }
+
+    /// A canonical byte encoding of the view: two views of equal depth are
+    /// equal iff their encodings are equal, and the encoding's lexicographic
+    /// order coincides with the [`Ord`] implementation on views of equal
+    /// depth and bounded degree. Used where the paper manipulates `bin(B)`.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut Vec<u8>) {
+        // Fixed-width big-endian fields keep byte order consistent with
+        // numeric order, so byte-lexicographic comparison of encodings agrees
+        // with the structural Ord below (for degrees/ports < 2^32).
+        out.extend_from_slice(&(self.degree as u32).to_be_bytes());
+        out.extend_from_slice(&(self.children.len() as u32).to_be_bytes());
+        for (q, sub) in &self.children {
+            out.extend_from_slice(&(*q as u32).to_be_bytes());
+            sub.write_canonical(out);
+        }
+    }
+}
+
+impl PartialOrd for AugmentedView {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AugmentedView {
+    /// Canonical total order: depth, then root degree, then the children in
+    /// port order, each compared by (reverse port, subview).
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.depth
+            .cmp(&other.depth)
+            .then_with(|| self.degree.cmp(&other.degree))
+            .then_with(|| self.children.cmp(&other.children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn depth_zero_is_degree_label() {
+        let g = generators::star(4);
+        let center = AugmentedView::compute(&g, 0, 0);
+        let leaf = AugmentedView::compute(&g, 1, 0);
+        assert_eq!(center.degree(), 4);
+        assert_eq!(leaf.degree(), 1);
+        assert_eq!(center.size(), 1);
+        assert_ne!(center, leaf);
+    }
+
+    #[test]
+    fn ring_views_are_symmetric() {
+        // In a ring with uniform clockwise port numbering, all nodes have the
+        // same view at every depth (the ring is infeasible).
+        let g = generators::ring(6);
+        for d in 0..=6 {
+            let views = AugmentedView::compute_all(&g, d);
+            assert!(views.windows(2).all(|w| w[0] == w[1]), "depth {d}");
+        }
+    }
+
+    #[test]
+    fn star_views_all_distinct_at_depth_one() {
+        // Each leaf sees the (distinct) port number its edge carries at the
+        // center, so already at depth 1 all views differ.
+        let g = generators::star(3);
+        let views = AugmentedView::compute_all(&g, 1);
+        for i in 0..views.len() {
+            for j in 0..i {
+                assert_ne!(views[i], views[j], "views of {i} and {j}");
+            }
+        }
+        // At depth 0 the leaves are indistinguishable.
+        let v0 = AugmentedView::compute_all(&g, 0);
+        assert_eq!(v0[1], v0[2]);
+        assert_ne!(v0[0], v0[1]);
+    }
+
+    #[test]
+    fn compute_all_matches_compute() {
+        let g = generators::lollipop(4, 3);
+        for d in 0..4 {
+            let all = AugmentedView::compute_all(&g, d);
+            for v in g.nodes() {
+                assert_eq!(all[v], AugmentedView::compute(&g, v, d));
+            }
+        }
+    }
+
+    #[test]
+    fn view_size_matches_walk_count() {
+        // In a ring (degree 2 everywhere), the view at depth d is a complete
+        // binary tree with 2^(d+1) - 1 nodes.
+        let g = generators::ring(5);
+        let v = AugmentedView::compute(&g, 0, 4);
+        assert_eq!(v.size(), (1 << 5) - 1);
+    }
+
+    #[test]
+    fn truncate_agrees_with_direct_computation() {
+        let g = generators::torus(3, 4);
+        let deep = AugmentedView::compute(&g, 5, 3);
+        for d in 0..=3 {
+            assert_eq!(deep.truncate(d), AugmentedView::compute(&g, 5, d));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncate_to_larger_depth_panics() {
+        let g = generators::ring(4);
+        AugmentedView::compute(&g, 0, 1).truncate(2);
+    }
+
+    #[test]
+    fn child_navigation_follows_ports() {
+        let g = generators::path(3);
+        // Node 1 (middle) has degree 2; its child through port 0 is node 0
+        // (degree 1), through port 1 is node 2 (degree 1).
+        let v = AugmentedView::compute(&g, 1, 1);
+        let (q0, c0) = v.child(0).unwrap();
+        assert_eq!(c0.degree(), 1);
+        assert_eq!(q0, 0);
+        assert!(v.child(2).is_none());
+    }
+
+    #[test]
+    fn canonical_bytes_injective_on_small_family() {
+        let g = generators::caterpillar(5);
+        let views = AugmentedView::compute_all(&g, 2);
+        for i in 0..views.len() {
+            for j in 0..views.len() {
+                assert_eq!(
+                    views[i] == views[j],
+                    views[i].canonical_bytes() == views[j].canonical_bytes(),
+                    "canonical_bytes must be injective"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_bytes() {
+        let g = generators::lollipop(5, 4);
+        let views = AugmentedView::compute_all(&g, 2);
+        for a in &views {
+            for b in &views {
+                let by_struct = a.cmp(b);
+                let by_bytes = a.canonical_bytes().cmp(&b.canonical_bytes());
+                assert_eq!(by_struct, by_bytes);
+            }
+        }
+    }
+}

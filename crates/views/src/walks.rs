@@ -1,0 +1,127 @@
+//! Walk-reachability sets.
+//!
+//! A node at depth `t` of the view `V^l(v)` corresponds to a walk of length
+//! `t` from `v` in the graph (backtracking allowed). The simulator therefore
+//! evaluates conditions phrased on views ("the set of augmented truncated
+//! views at depth `x` of all nodes at depth exactly `t` in `B`") as conditions
+//! on the graph nodes reachable by walks of the corresponding lengths. These
+//! helpers compute those sets.
+
+use anet_graph::{Graph, NodeId};
+
+/// The set of nodes reachable from `v` by a walk of length *exactly* `t`
+/// (backtracking allowed), as a boolean membership vector.
+pub fn reach_exact(g: &Graph, v: NodeId, t: usize) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut cur = vec![false; n];
+    cur[v] = true;
+    for _ in 0..t {
+        let mut next = vec![false; n];
+        for u in 0..n {
+            if cur[u] {
+                for w in g.neighbors(u) {
+                    next[w] = true;
+                }
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// The set of nodes reachable from `v` by a walk of length *at most* `t`.
+/// For connected graphs this equals the set of nodes at distance `<= t`.
+pub fn reach_within(g: &Graph, v: NodeId, t: usize) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut within = vec![false; n];
+    let mut cur = vec![false; n];
+    cur[v] = true;
+    within[v] = true;
+    for _ in 0..t {
+        let mut next = vec![false; n];
+        for u in 0..n {
+            if cur[u] {
+                for w in g.neighbors(u) {
+                    next[w] = true;
+                }
+            }
+        }
+        for u in 0..n {
+            within[u] |= next[u];
+        }
+        cur = next;
+    }
+    within
+}
+
+/// Lists the members of a membership vector.
+pub fn members(set: &[bool]) -> Vec<NodeId> {
+    set.iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::{algo, generators};
+
+    #[test]
+    fn reach_exact_zero_is_self() {
+        let g = generators::ring(5);
+        let r = reach_exact(&g, 2, 0);
+        assert_eq!(members(&r), vec![2]);
+    }
+
+    #[test]
+    fn reach_exact_respects_parity_on_even_ring() {
+        // On an even ring (bipartite), walks of even length stay on the same
+        // parity class.
+        let g = generators::ring(6);
+        let r = reach_exact(&g, 0, 2);
+        assert_eq!(members(&r), vec![0, 2, 4]);
+        let r3 = reach_exact(&g, 0, 3);
+        assert_eq!(members(&r3), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn reach_exact_mixes_parity_on_odd_ring() {
+        let g = generators::ring(5);
+        // After 5 steps on an odd cycle every node is reachable.
+        let r = reach_exact(&g, 0, 5);
+        assert_eq!(members(&r).len(), 5);
+    }
+
+    #[test]
+    fn reach_within_equals_distance_ball() {
+        let g = generators::random_connected(25, 0.1, 4);
+        let dist = algo::bfs_distances(&g, 7);
+        for t in 0..6 {
+            let ball = reach_within(&g, 7, t);
+            for v in g.nodes() {
+                assert_eq!(ball[v], dist[v] <= t, "node {v} at radius {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_within_is_monotone() {
+        let g = generators::torus(3, 4);
+        let mut prev = reach_within(&g, 0, 0);
+        for t in 1..6 {
+            let cur = reach_within(&g, 0, t);
+            for v in g.nodes() {
+                assert!(!prev[v] || cur[v]);
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn members_lists_sorted_indices() {
+        assert_eq!(members(&[true, false, true, true]), vec![0, 2, 3]);
+        assert!(members(&[false, false]).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Tour of the lower-bound graph families: build each construction from the
+//! paper's proofs and verify its advertised properties.
+//!
+//! ```text
+//! cargo run --example lower_bound_families
+//! ```
+
+use anonymous_election::families::necklace::NecklaceParams;
+use anonymous_election::families::ring_of_cliques::{family_gk_size, ring_of_cliques_base};
+use anonymous_election::families::{
+    clique_f, family_f_size, hairy_ring, lock_chain_graph, necklace_base, z_lock,
+};
+use anonymous_election::graph::algo;
+use anonymous_election::views::election_index;
+
+fn main() {
+    // F(x): the clique family every lower bound builds on.
+    let x = 3;
+    println!("F({x}) has {} members; member 5:", family_f_size(x));
+    let c5 = clique_f(x, 5);
+    println!(
+        "  {} nodes, {} edges, regular = {}",
+        c5.num_nodes(),
+        c5.num_edges(),
+        c5.is_regular()
+    );
+
+    // Theorem 3.2: the ring of cliques (φ = 1, advice Ω(n log log n)).
+    let h = ring_of_cliques_base(8, x);
+    println!(
+        "\nring-of-cliques H_8: n = {}, φ = {:?}, family size (k=8) = {} graphs",
+        h.num_nodes(),
+        election_index(&h),
+        family_gk_size(8)
+    );
+
+    // Theorem 3.3: the necklaces (election index exactly φ).
+    let params = NecklaceParams { k: 4, x: 3, phi: 3 };
+    let neck = necklace_base(params);
+    println!(
+        "necklace M_4 (designed φ = 3): n = {}, measured φ = {:?}",
+        neck.num_nodes(),
+        election_index(&neck)
+    );
+
+    // Theorem 4.2: locks and the initial lock-chain family.
+    let lock = z_lock(5);
+    println!(
+        "5-lock: central degree {}, principal degree {}",
+        lock.graph.degree(lock.central),
+        lock.graph.degree(lock.principal)
+    );
+    let lc = lock_chain_graph(2, 2, 0);
+    println!(
+        "lock-chain T_0 member 0: n = {}, φ = {:?}, D = {}, principal distance = {}",
+        lc.graph.num_nodes(),
+        election_index(&lc.graph),
+        algo::diameter(&lc.graph),
+        algo::distance(&lc.graph, lc.left_principal, lc.right_principal)
+    );
+
+    // Proposition 4.1: hairy rings.
+    let hairy = hairy_ring(&[1, 0, 2, 0, 3, 0]);
+    println!(
+        "hairy ring: n = {}, φ = {:?} (feasible thanks to the unique largest star)",
+        hairy.num_nodes(),
+        election_index(&hairy)
+    );
+}

@@ -1,0 +1,117 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction: encodings round-trip, election is correct and time-optimal
+//! on arbitrary feasible graphs, the refinement engine agrees with the
+//! definitional view comparison, and outcomes are invariant under simulator
+//! node relabeling.
+
+use proptest::prelude::*;
+
+use anonymous_election::advice::{codec, BitString};
+use anonymous_election::election::{elect_all, generic_elect_all};
+use anonymous_election::graph::{algo, generators, relabel};
+use anonymous_election::views::{election_index, election_index_naive, AugmentedView, ViewClasses};
+
+/// Strategy: a connected random graph described by (size, edge probability,
+/// seed).
+fn graph_params() -> impl Strategy<Value = (usize, f64, u64)> {
+    (4usize..24, 0.05f64..0.5, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn concat_decode_roundtrip(parts in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 0..24), 0..12)) {
+        let parts: Vec<BitString> = parts.iter().map(|p| BitString::from_bits(p)).collect();
+        let enc = codec::concat(&parts);
+        let dec = codec::decode(&enc).unwrap();
+        if parts.is_empty() {
+            prop_assert!(dec.is_empty());
+        } else {
+            prop_assert_eq!(dec, parts);
+        }
+    }
+
+    #[test]
+    fn uint_bitstring_roundtrip(x in any::<u64>()) {
+        prop_assert_eq!(BitString::from_uint(x).to_uint(), Some(x));
+    }
+
+    #[test]
+    fn refinement_classes_agree_with_explicit_views((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        let depth = 3usize;
+        let table = ViewClasses::compute(&g, depth);
+        let views = AugmentedView::compute_all(&g, depth);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    table.class_of(depth, u) == table.class_of(depth, v),
+                    views[u] == views[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn election_index_engines_agree((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        let fast = election_index(&g);
+        let naive = election_index_naive(&g, 6);
+        match (fast, naive) {
+            (Some(f), Some(nv)) => prop_assert_eq!(f, nv),
+            (Some(f), None) => prop_assert!(f > 6),
+            (None, Some(_)) => prop_assert!(false, "naive found an index on an infeasible graph"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn minimum_time_election_is_correct_and_time_optimal((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            // Keep the run tractable: deep views on dense graphs explode.
+            prop_assume!(phi <= 4);
+            let outcome = elect_all(&g).unwrap();
+            prop_assert_eq!(outcome.time, phi);
+            for (v, path) in outcome.outputs.iter().enumerate() {
+                prop_assert!(path.is_simple(&g, v));
+                prop_assert_eq!(path.endpoint(&g, v), Some(outcome.leader));
+            }
+        }
+    }
+
+    #[test]
+    fn generic_election_obeys_lemma_4_1((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            let d = algo::diameter(&g);
+            let outcome = generic_elect_all(&g, phi + 1).unwrap();
+            prop_assert!(outcome.time <= d + phi + 2);
+            for (v, path) in outcome.outputs.iter().enumerate() {
+                prop_assert!(path.is_simple(&g, v));
+            }
+        }
+    }
+
+    #[test]
+    fn election_outcome_is_invariant_under_node_relabeling((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            prop_assume!(phi <= 3);
+            let (h, perm) = relabel::random_node_permutation(&g, seed ^ 0xabcd);
+            let og = elect_all(&g).unwrap();
+            let oh = elect_all(&h).unwrap();
+            prop_assert_eq!(perm[og.leader], oh.leader);
+            prop_assert_eq!(og.time, oh.time);
+            prop_assert_eq!(og.advice_bits, oh.advice_bits);
+        }
+    }
+
+    #[test]
+    fn feasibility_is_invariant_under_port_preserving_isomorphism((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        let (h, _) = relabel::random_node_permutation(&g, seed.wrapping_add(7));
+        prop_assert_eq!(election_index(&g), election_index(&h));
+    }
+}
