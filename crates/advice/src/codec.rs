@@ -156,7 +156,10 @@ mod tests {
         let odd = BitString::from_str01("001").unwrap();
         assert_eq!(decode(&odd), Err(DecodeError::Truncated));
         let bad_pair = BitString::from_str01("0010").unwrap();
-        assert_eq!(decode(&bad_pair), Err(DecodeError::InvalidPair { offset: 2 }));
+        assert_eq!(
+            decode(&bad_pair),
+            Err(DecodeError::InvalidPair { offset: 2 })
+        );
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Round-trip tests for the self-delimiting encodings on boundary values:
+//! `decode(encode(x)) == x` must hold at the edges of the integer domain
+//! (0, 1, every power of two and its neighbors, `u64::MAX`), beyond the
+//! random coverage of the workspace-level `tests/properties.rs`.
+
+use anet_advice::{codec, BitString};
+
+/// Boundary values: 0, 1, 2^k - 1, 2^k, 2^k + 1 for every k, and u64::MAX.
+fn boundary_values() -> Vec<u64> {
+    let mut xs = vec![0u64, 1, u64::MAX];
+    for k in 1..64 {
+        let p = 1u64 << k;
+        xs.push(p - 1);
+        xs.push(p);
+        xs.push(p.wrapping_add(1));
+    }
+    xs.sort_unstable();
+    xs.dedup();
+    xs
+}
+
+#[test]
+fn uint_bitstring_roundtrip_on_boundary_values() {
+    for x in boundary_values() {
+        let bits = BitString::from_uint(x);
+        assert_eq!(bits.to_uint(), Some(x), "bin({x}) did not round-trip");
+    }
+}
+
+#[test]
+fn concat_decode_roundtrip_on_boundary_singletons() {
+    for x in boundary_values() {
+        let part = BitString::from_uint(x);
+        let enc = codec::concat(std::slice::from_ref(&part));
+        let dec = codec::decode(&enc).expect("decode of a valid encoding");
+        assert_eq!(dec, vec![part], "Concat/Decode round-trip failed for {x}");
+    }
+}
+
+#[test]
+fn concat_decode_roundtrip_on_the_full_boundary_sequence() {
+    let parts: Vec<BitString> = boundary_values()
+        .into_iter()
+        .map(BitString::from_uint)
+        .collect();
+    let enc = codec::concat(&parts);
+    let dec = codec::decode(&enc).expect("decode of a valid encoding");
+    assert_eq!(dec, parts);
+}
+
+#[test]
+fn concat_uints_roundtrip_on_boundary_values() {
+    let xs = boundary_values();
+    let enc = codec::concat_uints(&xs);
+    let dec = codec::decode_uints(&enc).expect("decode of a valid encoding");
+    assert_eq!(dec, xs);
+}
+
+#[test]
+fn empty_and_singleton_empty_bitstring_boundary_cases() {
+    // Degenerate boundary cases of the doubling code. `concat([])` and
+    // `concat([""])` both encode to the empty string — the code's one
+    // documented ambiguity — and `decode` resolves the empty encoding to the
+    // empty sequence.
+    let empty_concat = codec::concat(&[]);
+    assert!(empty_concat.is_empty());
+    assert!(codec::decode(&empty_concat)
+        .expect("empty encoding decodes")
+        .is_empty());
+
+    let one_empty = codec::concat(&[BitString::new()]);
+    assert!(one_empty.is_empty());
+    assert!(codec::decode(&one_empty)
+        .expect("empty encoding decodes")
+        .is_empty());
+
+    // With a non-empty neighbor the empty substring *is* recoverable.
+    let mixed = codec::concat(&[BitString::new(), BitString::from_uint(5)]);
+    let dec = codec::decode(&mixed).expect("decode of a valid encoding");
+    assert_eq!(dec, vec![BitString::new(), BitString::from_uint(5)]);
+}

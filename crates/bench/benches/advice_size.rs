@@ -8,9 +8,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_compute_advice(c: &mut Criterion) {
     let mut group = c.benchmark_group("compute_advice");
     for inst in workloads::bench_graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst.graph, |b, g| {
-            b.iter(|| compute_advice(g).unwrap().size_bits())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&inst.name),
+            &inst.graph,
+            |b, g| b.iter(|| compute_advice(g).unwrap().size_bits()),
+        );
     }
     group.finish();
 }
@@ -18,9 +20,11 @@ fn bench_compute_advice(c: &mut Criterion) {
 fn bench_full_election(c: &mut Criterion) {
     let mut group = c.benchmark_group("elect_all_min_time");
     for inst in workloads::bench_graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst.graph, |b, g| {
-            b.iter(|| elect_all(g).unwrap().time)
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&inst.name),
+            &inst.graph,
+            |b, g| b.iter(|| elect_all(g).unwrap().time),
+        );
     }
     group.finish();
 }

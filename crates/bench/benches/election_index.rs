@@ -9,9 +9,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_refinement(c: &mut Criterion) {
     let mut group = c.benchmark_group("election_index_refinement");
     for inst in workloads::bench_graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst.graph, |b, g| {
-            b.iter(|| election_index(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&inst.name),
+            &inst.graph,
+            |b, g| b.iter(|| election_index(g)),
+        );
     }
     group.finish();
 }
@@ -19,9 +21,11 @@ fn bench_refinement(c: &mut Criterion) {
 fn bench_naive(c: &mut Criterion) {
     let mut group = c.benchmark_group("election_index_naive");
     for inst in workloads::bench_graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst.graph, |b, g| {
-            b.iter(|| election_index_naive(g, 6))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&inst.name),
+            &inst.graph,
+            |b, g| b.iter(|| election_index_naive(g, 6)),
+        );
     }
     group.finish();
 }

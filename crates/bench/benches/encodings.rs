@@ -23,7 +23,10 @@ fn bench_tree_codec(c: &mut Criterion) {
     for n in [64u64, 512, 2048] {
         let mut tree = LabeledTree::leaf(n);
         for label in (1..n).rev() {
-            tree = LabeledTree { label, children: vec![(0, 1, tree)] };
+            tree = LabeledTree {
+                label,
+                children: vec![(0, 1, tree)],
+            };
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
             b.iter(|| LabeledTree::decode_bits(&t.encode()).unwrap().size())
@@ -46,5 +49,10 @@ fn bench_trie_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_concat_decode, bench_tree_codec, bench_trie_codec);
+criterion_group!(
+    benches,
+    bench_concat_decode,
+    bench_tree_codec,
+    bench_trie_codec
+);
 criterion_main!(benches);

@@ -5,14 +5,12 @@
 use std::fmt::Write as _;
 
 use anet_election::baselines;
+use anet_election::elect_all;
 use anet_election::generic::generic_elect_all;
 use anet_election::milestones::{election_milestone, Milestone};
-use anet_election::elect_all;
 use anet_families::necklace::NecklaceParams;
 use anet_families::ring_of_cliques::{family_gk_size, ring_of_cliques_base};
-use anet_families::{
-    hairy_ring, lock_chain_graph, necklace_base, stretched_gadget, unrolled_ring,
-};
+use anet_families::{hairy_ring, lock_chain_graph, necklace_base, stretched_gadget, unrolled_ring};
 use anet_graph::{algo, dot, generators};
 use anet_views::{election_index, AugmentedView};
 
@@ -45,7 +43,10 @@ pub fn e1_min_time_advice() -> String {
             outcome.advice_bits as f64 / nlogn
         )
         .unwrap();
-        assert_eq!(outcome.time, outcome.phi, "election must use exactly φ rounds");
+        assert_eq!(
+            outcome.time, outcome.phi,
+            "election must use exactly φ rounds"
+        );
     }
     writeln!(
         out,
@@ -112,7 +113,13 @@ pub fn e3_necklace_lower_bound() -> String {
         "k", "x", "phi", "n", "idx", "lb=log2((x+1)^(k-3))", "n(loglog n)^2/log n", "ratio"
     )
     .unwrap();
-    for (k, x, phi) in [(4usize, 3usize, 2usize), (4, 3, 3), (6, 3, 2), (6, 3, 4), (8, 4, 3)] {
+    for (k, x, phi) in [
+        (4usize, 3usize, 2usize),
+        (4, 3, 3),
+        (6, 3, 2),
+        (6, 3, 4),
+        (8, 4, 3),
+    ] {
         let params = NecklaceParams { k, x, phi };
         let g = necklace_base(params);
         let n = g.num_nodes();
@@ -123,7 +130,14 @@ pub fn e3_necklace_lower_bound() -> String {
         writeln!(
             out,
             "{:>4} {:>3} {:>4} {:>6} {:>5} {:>18.1} {:>20.1} {:>8.3}",
-            k, x, phi, n, idx, lower_bits, shape, lower_bits / shape
+            k,
+            x,
+            phi,
+            n,
+            idx,
+            lower_bits,
+            shape,
+            lower_bits / shape
         )
         .unwrap();
         assert_eq!(idx, phi, "Claim 3.10");
@@ -215,7 +229,11 @@ pub fn e5_milestones() -> String {
 /// the diameter).
 pub fn e6_lock_families() -> String {
     let mut out = String::new();
-    writeln!(out, "# E6  Lock-chain family T_0 of Theorem 4.2 (Figs. 3-5)").unwrap();
+    writeln!(
+        out,
+        "# E6  Lock-chain family T_0 of Theorem 4.2 (Figs. 3-5)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>3} {:>6} {:>4} {:>4} {:>6} {:>6} {:>14}",
@@ -249,7 +267,11 @@ pub fn e6_lock_families() -> String {
 /// E7 — Proposition 4.1: hairy rings and the view-coincidence confusion.
 pub fn e7_hairy_rings() -> String {
     let mut out = String::new();
-    writeln!(out, "# E7  Constant advice is insufficient (Proposition 4.1, Fig. 9)").unwrap();
+    writeln!(
+        out,
+        "# E7  Constant advice is insufficient (Proposition 4.1, Fig. 9)"
+    )
+    .unwrap();
     let sizes = vec![1usize, 0, 2, 0, 3, 0];
     let ring = hairy_ring(&sizes);
     let unrolled = unrolled_ring(&sizes, 4);
@@ -297,7 +319,11 @@ pub fn e7_hairy_rings() -> String {
 /// E8 — Proposition 2.2: election index vs `D log(n/D)`.
 pub fn e8_election_index_vs_bound() -> String {
     let mut out = String::new();
-    writeln!(out, "# E8  Election index vs O(D log(n/D)) (Proposition 2.2)").unwrap();
+    writeln!(
+        out,
+        "# E8  Election index vs O(D log(n/D)) (Proposition 2.2)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<22} {:>5} {:>3} {:>4} {:>14}",
@@ -317,7 +343,11 @@ pub fn e8_election_index_vs_bound() -> String {
         .unwrap();
         assert!((phi as f64) <= 3.0 * bound + 3.0, "Proposition 2.2 shape");
     }
-    writeln!(out, "\nShape check: φ stays within a small constant of D log(n/D).").unwrap();
+    writeln!(
+        out,
+        "\nShape check: φ stays within a small constant of D log(n/D)."
+    )
+    .unwrap();
     out
 }
 
@@ -336,7 +366,12 @@ pub fn e10_advice_ablation() -> String {
         writeln!(
             out,
             "{:<22} {:>5} {:>4} {:>12} {:>12} {:>12}",
-            inst.name, cmp.n, cmp.phi, cmp.trie_advice_bits, cmp.naive_advice_bits, cmp.full_map_bits
+            inst.name,
+            cmp.n,
+            cmp.phi,
+            cmp.trie_advice_bits,
+            cmp.naive_advice_bits,
+            cmp.full_map_bits
         )
         .unwrap();
     }

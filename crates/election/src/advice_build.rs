@@ -98,7 +98,12 @@ pub fn compute_advice(g: &Graph) -> Result<Advice, ElectionError> {
         }
         let mut l_i: Vec<(u64, Trie)> = Vec::new();
         for (b_prime, nodes) in &groups {
-            let x = distinct_sorted(&nodes.iter().map(|&v| views_i[v].clone()).collect::<Vec<_>>());
+            let x = distinct_sorted(
+                &nodes
+                    .iter()
+                    .map(|&v| views_i[v].clone())
+                    .collect::<Vec<_>>(),
+            );
             if x.len() > 1 {
                 let j = retrieve_label(b_prime, &e1, &e2);
                 let t_j = build_trie(&x, Some(&e1), &e2);
@@ -152,15 +157,15 @@ pub fn decode_advice(bits: &BitString) -> Result<DecodedAdvice, ElectionError> {
         .to_uint()
         .ok_or_else(|| ElectionError::MalformedAdvice("bad election index".into()))?
         as usize;
-    let a1 = codec::decode(&outer[1])
-        .map_err(|e| ElectionError::MalformedAdvice(e.to_string()))?;
+    let a1 = codec::decode(&outer[1]).map_err(|e| ElectionError::MalformedAdvice(e.to_string()))?;
     if a1.len() != 2 {
         return Err(ElectionError::MalformedAdvice(format!(
             "expected 2 parts in A1, found {}",
             a1.len()
         )));
     }
-    let e1 = Trie::decode_bits(&a1[0]).map_err(|e| ElectionError::MalformedAdvice(e.to_string()))?;
+    let e1 =
+        Trie::decode_bits(&a1[0]).map_err(|e| ElectionError::MalformedAdvice(e.to_string()))?;
     let e2 = decode_e2(&a1[1]).map_err(ElectionError::MalformedAdvice)?;
     let tree = LabeledTree::decode_bits(&outer[2])
         .map_err(|e| ElectionError::MalformedAdvice(e.to_string()))?;
@@ -190,11 +195,7 @@ fn build_labeled_bfs_tree(g: &Graph, root: NodeId, labels: &[u64]) -> LabeledTre
     build_subtree(root, &children, labels)
 }
 
-fn build_subtree(
-    u: NodeId,
-    children: &[Vec<(u64, u64, NodeId)>],
-    labels: &[u64],
-) -> LabeledTree {
+fn build_subtree(u: NodeId, children: &[Vec<(u64, u64, NodeId)>], labels: &[u64]) -> LabeledTree {
     LabeledTree {
         label: labels[u],
         children: children[u]

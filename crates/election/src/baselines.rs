@@ -71,13 +71,7 @@ fn bits_for(x: u64) -> usize {
 /// `depth`. If an algorithm (with whatever common advice both graphs happen
 /// to receive) halts within `depth` rounds, those two nodes must produce the
 /// same output — the seed of every lower-bound proof in the paper.
-pub fn views_coincide(
-    g1: &Graph,
-    u: usize,
-    g2: &Graph,
-    v: usize,
-    depth: usize,
-) -> bool {
+pub fn views_coincide(g1: &Graph, u: usize, g2: &Graph, v: usize, depth: usize) -> bool {
     AugmentedView::compute(g1, u, depth) == AugmentedView::compute(g2, v, depth)
 }
 

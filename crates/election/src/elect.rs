@@ -70,7 +70,9 @@ pub fn elect_all_with_advice(g: &Graph, advice: &Advice) -> Result<ElectionOutco
     let runner = SyncRunner::new(g, phi + 1);
     let outcome = runner.run(|_degree| {
         let decoded = decoded.clone();
-        ComNode::new(phi, move |view: &AugmentedView| elect_output(&decoded, view))
+        ComNode::new(phi, move |view: &AugmentedView| {
+            elect_output(&decoded, view)
+        })
     });
 
     let mut outputs = Vec::with_capacity(g.num_nodes());

@@ -212,7 +212,7 @@ mod tests {
         let g = generators::lollipop(4, 5);
         let phi = election_index(&g).unwrap();
         let outcome = generic_elect_all(&g, phi + 4).unwrap();
-        assert!(outcome.halt_rounds.iter().all(|&r| r >= phi + 4 + 1));
+        assert!(outcome.halt_rounds.iter().all(|&r| r > phi + 4));
     }
 
     #[test]

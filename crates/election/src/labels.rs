@@ -155,17 +155,10 @@ pub fn build_trie(s: &[AugmentedView], e1: Option<&Trie>, e2: &NestedList) -> Tr
                 .filter(|v| v.children()[index].1 != b_disc)
                 .cloned()
                 .collect();
-            (
-                (index as u64, retrieve_label(&b_disc, e1_trie, e2)),
-                subset,
-            )
+            ((index as u64, retrieve_label(&b_disc, e1_trie, e2)), subset)
         }
     };
-    let s_rest: Vec<AugmentedView> = s
-        .iter()
-        .filter(|v| !s_prime.contains(v))
-        .cloned()
-        .collect();
+    let s_rest: Vec<AugmentedView> = s.iter().filter(|v| !s_prime.contains(v)).cloned().collect();
     debug_assert!(!s_prime.is_empty() && !s_rest.is_empty());
     let e1_for_rec = e1;
     Trie::internal(
@@ -334,7 +327,11 @@ mod tests {
 
     #[test]
     fn e2_encoding_roundtrips() {
-        let trie = Trie::internal((2, 7), Trie::leaf(), Trie::internal((1, 1), Trie::leaf(), Trie::leaf()));
+        let trie = Trie::internal(
+            (2, 7),
+            Trie::leaf(),
+            Trie::internal((1, 1), Trie::leaf(), Trie::leaf()),
+        );
         let e2: NestedList = vec![
             (2, vec![(1, Trie::leaf()), (4, trie.clone())]),
             (3, vec![]),

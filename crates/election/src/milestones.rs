@@ -132,9 +132,9 @@ pub fn milestone_advice(milestone: Milestone, phi: u64) -> BitString {
 /// The node side of a milestone: the parameter `P_i` reconstructed from the
 /// advice (Algorithm 8).
 pub fn milestone_parameter(milestone: Milestone, advice: &BitString) -> Result<u64, ElectionError> {
-    let a = advice
-        .to_uint()
-        .ok_or_else(|| ElectionError::MalformedAdvice("milestone advice is not an integer".into()))?;
+    let a = advice.to_uint().ok_or_else(|| {
+        ElectionError::MalformedAdvice("milestone advice is not an integer".into())
+    })?;
     Ok(match milestone {
         Milestone::AddConstant => a,
         Milestone::LinearFactor => (1u64 << (a + 1)) - 1,

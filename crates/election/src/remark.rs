@@ -67,7 +67,8 @@ pub fn decode_remark_advice(bits: &BitString) -> Result<(usize, usize), Election
         .ok_or_else(|| ElectionError::MalformedAdvice("bad diameter".into()))? as usize;
     let phi = parts[1]
         .to_uint()
-        .ok_or_else(|| ElectionError::MalformedAdvice("bad election index".into()))? as usize;
+        .ok_or_else(|| ElectionError::MalformedAdvice("bad election index".into()))?
+        as usize;
     Ok((d, phi))
 }
 

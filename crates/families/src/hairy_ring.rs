@@ -124,9 +124,7 @@ pub fn stretched_gadget(
         b.add_edge_auto(hub, leaf).unwrap();
     }
     // Stars on every ring node of every copy.
-    let repeated: Vec<usize> = (0..total_ring)
-        .map(|id| star_sizes[id % n])
-        .collect();
+    let repeated: Vec<usize> = (0..total_ring).map(|id| star_sizes[id % n]).collect();
     attach_stars(&mut b, &repeated, 0);
     let copy_firsts = (0..gamma).map(|c| local(c, 0)).collect();
     (b.build().unwrap(), hub, copy_firsts)

@@ -112,7 +112,10 @@ pub fn necklace(params: NecklaceParams, code: &[usize]) -> Graph {
     params.validate();
     let NecklaceParams { k, x, phi } = params;
     assert_eq!(code.len(), k, "one code entry per joint");
-    assert!(code[0] == 0 && code[k - 1] == 0, "codes start and end with 0");
+    assert!(
+        code[0] == 0 && code[k - 1] == 0,
+        "codes start and end with 0"
+    );
     assert!(code.iter().all(|&c| c <= x), "code entries are at most x");
 
     let mut b = GraphBuilder::new(params.num_nodes());
@@ -152,8 +155,10 @@ pub fn necklace(params: NecklaceParams, code: &[usize]) -> Graph {
             let right_joint = params.joint(i + 1);
             let port_at_left = joint_ray_port(params, i, /*towards_left_joint=*/ true, j);
             let port_at_right = joint_ray_port(params, i, false, j);
-            b.add_edge_with_ports(d, x - 1, left_joint, port_at_left).unwrap();
-            b.add_edge_with_ports(d, x, right_joint, port_at_right).unwrap();
+            b.add_edge_with_ports(d, x - 1, left_joint, port_at_left)
+                .unwrap();
+            b.add_edge_with_ports(d, x, right_joint, port_at_right)
+                .unwrap();
         }
     }
 
@@ -183,12 +188,11 @@ pub fn necklace(params: NecklaceParams, code: &[usize]) -> Graph {
     // c_{i+1} modulo (x + 1) (diamond nodes have degree x + 1).
     let mut shifted_nodes = Vec::new();
     let mut shift_of = vec![0usize; params.num_nodes()];
-    for i in 0..(k - 1) {
+    for (i, &c) in code.iter().enumerate().take(k - 1) {
         // The paper shifts every port at every node of D_i by c_i; in
         // 0-based terms, diamond i is shifted by code[i]. With c_1 = 0 the
         // first diamond is never shifted, so the left leaf's deep view is
         // identical across the family.
-        let c = code[i];
         if c == 0 {
             continue;
         }
@@ -334,8 +338,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn nonzero_terminal_code_is_rejected()
-    {
+    fn nonzero_terminal_code_is_rejected() {
         let params = small_params(2);
         necklace(params, &[1, 0, 0, 0]);
     }

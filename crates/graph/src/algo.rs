@@ -138,10 +138,7 @@ pub fn bfs_tree_path_to_root(g: &Graph, root: NodeId, v: NodeId) -> PortPath {
 
 /// Checks whether `path`, followed from every one of the `starts`, is a simple
 /// path ending at a common node; returns that node if so.
-pub fn common_endpoint(
-    g: &Graph,
-    outputs: &[(NodeId, PortPath)],
-) -> Option<NodeId> {
+pub fn common_endpoint(g: &Graph, outputs: &[(NodeId, PortPath)]) -> Option<NodeId> {
     let mut leader: Option<NodeId> = None;
     for (start, path) in outputs {
         if !path.is_simple(g, *start) {
@@ -202,10 +199,10 @@ mod tests {
         let g = generators::hypercube(3);
         let parent = canonical_bfs_parents(&g, 0);
         assert_eq!(parent[0], 0);
-        for v in 1..g.num_nodes() {
-            assert_ne!(parent[v], usize::MAX);
+        for (v, &pv) in parent.iter().enumerate().skip(1) {
+            assert_ne!(pv, usize::MAX);
             // Parent is strictly closer to the root.
-            assert_eq!(distance(&g, 0, parent[v]) + 1, distance(&g, 0, v));
+            assert_eq!(distance(&g, 0, pv) + 1, distance(&g, 0, v));
         }
     }
 

@@ -48,7 +48,8 @@ impl GraphBuilder {
     pub fn add_nodes(&mut self, count: usize) -> NodeId {
         let first = self.n;
         self.n += count;
-        self.half_edges.extend(std::iter::repeat_with(Vec::new).take(count));
+        self.half_edges
+            .extend(std::iter::repeat_with(Vec::new).take(count));
         first
     }
 
@@ -89,12 +90,7 @@ impl GraphBuilder {
 
     /// Adds the edge `{u, v}` with an explicit port only at `u`; the port at
     /// `v` is assigned automatically.
-    pub fn add_edge_port_at_u(
-        &mut self,
-        u: NodeId,
-        pu: Port,
-        v: NodeId,
-    ) -> Result<(), GraphError> {
+    pub fn add_edge_port_at_u(&mut self, u: NodeId, pu: Port, v: NodeId) -> Result<(), GraphError> {
         self.check_endpoints(u, v)?;
         if self.half_edges[u].iter().any(|&(p, _)| p == pu) {
             return Err(GraphError::DuplicatePort { node: u, port: pu });
@@ -242,7 +238,10 @@ mod tests {
     #[test]
     fn rejects_self_loop_and_parallel_edges() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(b.add_edge_auto(1, 1), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            b.add_edge_auto(1, 1),
+            Err(GraphError::SelfLoop { .. })
+        ));
         b.add_edge_auto(0, 1).unwrap();
         assert!(matches!(
             b.add_edge_auto(1, 0),

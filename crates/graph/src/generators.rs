@@ -304,7 +304,7 @@ mod tests {
     fn caterpillar_has_distinct_degrees_along_spine() {
         let g = caterpillar(5);
         // Spine node v has v leaves attached plus 1 or 2 spine neighbors.
-        assert_eq!(g.num_nodes(), 5 + (0 + 1 + 2 + 3 + 4));
+        assert_eq!(g.num_nodes(), 5 + (1 + 2 + 3 + 4));
         assert!(g.is_connected());
     }
 

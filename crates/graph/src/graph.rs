@@ -22,7 +22,6 @@ pub type Port = usize;
 /// is exactly the information a message sent through port `p` carries in the
 /// LOCAL model: the receiver learns on which of its own ports it arrived.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     /// `adj[v][p] = (u, q)`: port `p` at `v` leads to `u`, arriving on `u`'s
     /// port `q`.
@@ -136,10 +135,7 @@ impl Graph {
     /// Iterator over `(port, neighbor, reverse_port)` triples at node `v`, in
     /// increasing port order.
     pub fn ports(&self, v: NodeId) -> impl Iterator<Item = (Port, NodeId, Port)> + '_ {
-        self.adj[v]
-            .iter()
-            .enumerate()
-            .map(|(p, &(u, q))| (p, u, q))
+        self.adj[v].iter().enumerate().map(|(p, &(u, q))| (p, u, q))
     }
 
     /// Iterator over the neighbors of `v` (in port order).
@@ -277,11 +273,7 @@ mod tests {
     #[test]
     fn from_adjacency_rejects_asymmetric_ports() {
         // adj[0][0] says (1,0) but adj[1][0] points back to node 2.
-        let adj = vec![
-            vec![(1, 0)],
-            vec![(0, 0), (2, 0)],
-            vec![(1, 1)],
-        ];
+        let adj = vec![vec![(1, 0)], vec![(0, 0), (2, 0)], vec![(1, 1)]];
         // This one is actually fine; make a broken variant:
         assert!(Graph::from_adjacency(adj).is_ok());
         let broken = vec![vec![(1, 1)], vec![(0, 0), (0, 0)]];
@@ -299,12 +291,7 @@ mod tests {
 
     #[test]
     fn from_adjacency_rejects_disconnected() {
-        let adj = vec![
-            vec![(1, 0)],
-            vec![(0, 0)],
-            vec![(3, 0)],
-            vec![(2, 0)],
-        ];
+        let adj = vec![vec![(1, 0)], vec![(0, 0)], vec![(3, 0)], vec![(2, 0)]];
         assert!(matches!(
             Graph::from_adjacency(adj),
             Err(GraphError::Disconnected)

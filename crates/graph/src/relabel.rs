@@ -28,8 +28,7 @@ pub fn permute_nodes(g: &Graph, perm: &[NodeId]) -> Graph {
     let mut adj: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
     for v in g.nodes() {
         let new_v = perm[v];
-        adj[new_v] = g
-            .adjacency()[v]
+        adj[new_v] = g.adjacency()[v]
             .iter()
             .map(|&(u, q)| (perm[u], q))
             .collect();
@@ -82,6 +81,11 @@ pub fn random_node_permutation(g: &Graph, seed: u64) -> (Graph, Vec<NodeId>) {
     (permute_nodes(g, &perm), perm)
 }
 
+/// One endpoint of a bridge passed to [`compose_with_bridges`]: the component
+/// index, the component-local node id, and the port slot at that node
+/// (`None` = next free port).
+pub type BridgeEndpoint = (usize, NodeId, Option<Port>);
+
 /// Builds the disjoint union of `graphs` (as one adjacency structure) plus the
 /// listed `bridges`, each bridge given as
 /// `((graph_index, node, port_or_auto), (graph_index, node, port_or_auto))`.
@@ -95,7 +99,7 @@ pub fn random_node_permutation(g: &Graph, seed: u64) -> (Graph, Vec<NodeId>) {
 /// component, so callers can translate component-local node ids.
 pub fn compose_with_bridges(
     graphs: &[&Graph],
-    bridges: &[((usize, NodeId, Option<Port>), (usize, NodeId, Option<Port>))],
+    bridges: &[(BridgeEndpoint, BridgeEndpoint)],
 ) -> (Graph, Vec<usize>) {
     let mut offsets = Vec::with_capacity(graphs.len());
     let mut total = 0usize;
@@ -190,10 +194,7 @@ mod tests {
     fn compose_with_bridges_joins_components() {
         let a = generators::ring(3);
         let b = generators::ring(4);
-        let (g, offsets) = compose_with_bridges(
-            &[&a, &b],
-            &[((0, 0, None), (1, 0, None))],
-        );
+        let (g, offsets) = compose_with_bridges(&[&a, &b], &[((0, 0, None), (1, 0, None))]);
         assert_eq!(g.num_nodes(), 7);
         assert_eq!(g.num_edges(), 3 + 4 + 1);
         assert!(g.is_connected());

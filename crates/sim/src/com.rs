@@ -92,11 +92,7 @@ where
             .collect()
     }
 
-    fn receive(
-        &mut self,
-        round: usize,
-        incoming: Vec<Option<ViewMessage>>,
-    ) -> Option<PortPath> {
+    fn receive(&mut self, round: usize, incoming: Vec<Option<ViewMessage>>) -> Option<PortPath> {
         if self.target_depth == 0 {
             // No communication needed: B^0 is known locally.
             let view = self.current.as_ref().expect("initialized");

@@ -15,7 +15,7 @@
 //!   message per port, receive one message per port, optionally halt with an
 //!   election output),
 //! * [`SyncRunner`] — the deterministic sequential round engine,
-//! * [`parallel::ParallelRunner`] — a crossbeam-based executor that runs the
+//! * [`parallel::ParallelRunner`] — a scoped-thread executor that runs the
 //!   per-node send/receive phases on worker threads; it produces exactly the
 //!   same transcript as the sequential engine (checked by tests),
 //! * [`com`] — the `COM(i)` view-exchange subroutine (Algorithm 1): nodes

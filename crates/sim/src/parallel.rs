@@ -2,7 +2,7 @@
 //!
 //! The LOCAL model is a synchronous round structure, so the per-round
 //! send/receive phases of independent nodes are embarrassingly parallel. This
-//! executor splits the node set into chunks processed by crossbeam scoped
+//! executor splits the node set into chunks processed by `std::thread` scoped
 //! threads, with a barrier between phases implied by the scope joins. It
 //! produces exactly the same outcome as [`SyncRunner`](crate::SyncRunner) —
 //! node algorithms are deterministic and see the same inputs in the same
@@ -63,14 +63,14 @@ impl<'g> ParallelRunner<'g> {
             // Phase 1: sends, computed in parallel over node chunks.
             let mut outgoing: Vec<Option<Vec<Option<A::Message>>>> = vec![None; n];
             let halted: Vec<bool> = outputs.iter().map(Option::is_some).collect();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let halted = &halted;
                 for (chunk_idx, (node_chunk, out_chunk)) in nodes
                     .chunks_mut(chunk)
                     .zip(outgoing.chunks_mut(chunk))
                     .enumerate()
                 {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let base = chunk_idx * chunk;
                         for (off, (node, slot)) in
                             node_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
@@ -83,14 +83,13 @@ impl<'g> ParallelRunner<'g> {
                         }
                     });
                 }
-            })
-            .expect("send phase workers do not panic");
+            });
 
             // Phase 2: routing (cheap, sequential).
             let mut incoming: Vec<Vec<Option<A::Message>>> =
                 (0..n).map(|v| vec![None; g.degree(v)]).collect();
-            for v in 0..n {
-                if let Some(msgs) = outgoing[v].take() {
+            for (v, slot) in outgoing.iter_mut().enumerate() {
+                if let Some(msgs) = slot.take() {
                     assert_eq!(msgs.len(), g.degree(v), "send must cover every port");
                     for (p, msg) in msgs.into_iter().enumerate() {
                         if let Some(msg) = msg {
@@ -104,7 +103,7 @@ impl<'g> ParallelRunner<'g> {
 
             // Phase 3: receives, in parallel over node chunks.
             let mut decisions: Vec<Option<PortPath>> = vec![None; n];
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let halted = &halted;
                 for (chunk_idx, ((node_chunk, in_chunk), dec_chunk)) in nodes
                     .chunks_mut(chunk)
@@ -112,7 +111,7 @@ impl<'g> ParallelRunner<'g> {
                     .zip(decisions.chunks_mut(chunk))
                     .enumerate()
                 {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let base = chunk_idx * chunk;
                         for (off, ((node, inbox), dec)) in node_chunk
                             .iter_mut()
@@ -128,8 +127,7 @@ impl<'g> ParallelRunner<'g> {
                         }
                     });
                 }
-            })
-            .expect("receive phase workers do not panic");
+            });
 
             for (v, dec) in decisions.into_iter().enumerate() {
                 if let Some(path) = dec {

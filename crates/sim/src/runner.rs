@@ -25,11 +25,7 @@ pub trait NodeAlgorithm {
     /// (index = port number; `None` if the neighbor sent nothing on the
     /// connecting edge). Returning `Some(path)` halts the node with that
     /// election output; after halting the node is no longer scheduled.
-    fn receive(
-        &mut self,
-        round: usize,
-        incoming: Vec<Option<Self::Message>>,
-    ) -> Option<PortPath>;
+    fn receive(&mut self, round: usize, incoming: Vec<Option<Self::Message>>) -> Option<PortPath>;
 }
 
 /// Aggregate statistics of a run.
@@ -142,12 +138,11 @@ impl<'g> SyncRunner<'g> {
                 outgoing.push(msgs);
             }
             // Phase 2: route messages along edges.
-            let mut incoming: Vec<Vec<Option<A::Message>>> = (0..n)
-                .map(|v| vec![None; g.degree(v)])
-                .collect();
-            for v in 0..n {
+            let mut incoming: Vec<Vec<Option<A::Message>>> =
+                (0..n).map(|v| vec![None; g.degree(v)]).collect();
+            for (v, out) in outgoing.iter_mut().enumerate() {
                 for (p, u, q) in g.ports(v) {
-                    if let Some(msg) = outgoing[v][p].take() {
+                    if let Some(msg) = out[p].take() {
                         stats.messages += 1;
                         incoming[u][q] = Some(msg);
                     }

@@ -67,10 +67,7 @@ impl AugmentedView {
             let next: Vec<AugmentedView> = (0..n)
                 .map(|v| AugmentedView {
                     degree: g.degree(v),
-                    children: g
-                        .ports(v)
-                        .map(|(_, u, q)| (q, level[u].clone()))
-                        .collect(),
+                    children: g.ports(v).map(|(_, u, q)| (q, level[u].clone())).collect(),
                     depth: d,
                 })
                 .collect();

@@ -17,8 +17,8 @@ pub fn reach_exact(g: &Graph, v: NodeId, t: usize) -> Vec<bool> {
     cur[v] = true;
     for _ in 0..t {
         let mut next = vec![false; n];
-        for u in 0..n {
-            if cur[u] {
+        for (u, &reached) in cur.iter().enumerate() {
+            if reached {
                 for w in g.neighbors(u) {
                     next[w] = true;
                 }
@@ -39,8 +39,8 @@ pub fn reach_within(g: &Graph, v: NodeId, t: usize) -> Vec<bool> {
     within[v] = true;
     for _ in 0..t {
         let mut next = vec![false; n];
-        for u in 0..n {
-            if cur[u] {
+        for (u, &reached) in cur.iter().enumerate() {
+            if reached {
                 for w in g.neighbors(u) {
                     next[w] = true;
                 }

@@ -44,9 +44,9 @@ fn main() {
         "new token owner: node {} (elected in {} round(s) with {} advice bits)",
         outcome.leader, outcome.time, outcome.advice_bits
     );
+    println!("every station now holds a simple path of port numbers leading to the token owner;");
     println!(
-        "every station now holds a simple path of port numbers leading to the token owner;"
+        "the longest such path has {} hops.",
+        outcome.outputs.iter().map(|p| p.len()).max().unwrap()
     );
-    println!("the longest such path has {} hops.",
-        outcome.outputs.iter().map(|p| p.len()).max().unwrap());
 }

@@ -116,7 +116,11 @@ fn stretched_gadget_elects_despite_local_symmetry() {
 
 #[test]
 fn infeasible_graphs_are_rejected_by_every_pipeline() {
-    for g in [generators::ring(6), generators::hypercube(3), generators::torus(3, 3)] {
+    for g in [
+        generators::ring(6),
+        generators::hypercube(3),
+        generators::torus(3, 3),
+    ] {
         assert!(election_index(&g).is_none());
         assert!(elect_all(&g).is_err());
         assert!(election_milestone(&g, Milestone::AddConstant, 2).is_err());
