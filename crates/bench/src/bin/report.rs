@@ -6,12 +6,70 @@
 //! cargo run -p anet-bench --bin report -- all        # every experiment
 //! cargo run -p anet-bench --bin report -- e1 e4      # selected experiments
 //! cargo run -p anet-bench --bin report -- figures    # DOT figures only
+//!
+//! # election-index perf sweep (bench_graphs + large_graphs), JSON emission:
+//! cargo run --release -p anet-bench --bin report -- bench-index \
+//!     --json BENCH_election_index.json [--max-n 10000] [--threads 4]
 //! ```
 
-use anet_bench::experiments;
+use anet_bench::{bench_json, experiments};
+
+/// Runs the `bench-index` sweep, printing a table and optionally writing the
+/// JSON trajectory file.
+fn run_bench_index(json: Option<&str>, max_n: usize, threads: usize) {
+    let records = bench_json::run_sweep(max_n, threads);
+    println!("# Election-index perf sweep (max_n = {max_n}, threads = {threads})");
+    println!(
+        "{:<40} {:>7} {:>8} {:>5} {:>7} {:>10}",
+        "instance", "n", "m", "phi", "stable", "wall_ms"
+    );
+    for r in &records {
+        let phi = r.phi.map_or("-".to_string(), |p| p.to_string());
+        println!(
+            "{:<40} {:>7} {:>8} {:>5} {:>7} {:>10.3}",
+            r.name, r.n, r.m, phi, r.stable_depth, r.wall_ms
+        );
+    }
+    if let Some(path) = json {
+        match bench_json::emit(std::path::Path::new(path), &records) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("bench-index") {
+        let mut json: Option<String> = None;
+        let mut max_n = usize::MAX;
+        let mut threads = 1usize;
+        let parse_or_die = |flag: &str, value: Option<&String>| -> usize {
+            match value.map(|v| v.parse()) {
+                Some(Ok(v)) => v,
+                _ => {
+                    eprintln!("bench-index: {flag} needs an unsigned integer value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => json = it.next().cloned(),
+                "--max-n" => max_n = parse_or_die("--max-n", it.next()),
+                "--threads" => threads = parse_or_die("--threads", it.next()),
+                other => {
+                    eprintln!("unknown bench-index flag: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        run_bench_index(json.as_deref(), max_n, threads);
+        return;
+    }
+
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "figures",
@@ -41,7 +99,9 @@ fn main() {
                     Err(e) => eprintln!("failed to write figures: {e}"),
                 }
             }
-            other => eprintln!("unknown experiment id: {other} (expected e1..e10, figures, all)"),
+            other => eprintln!(
+                "unknown experiment id: {other} (expected e1..e10, figures, all, bench-index)"
+            ),
         }
     }
 }

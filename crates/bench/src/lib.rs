@@ -14,5 +14,6 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
 pub mod experiments;
 pub mod workloads;

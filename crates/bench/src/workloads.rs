@@ -1,5 +1,6 @@
 //! Workload generators shared by the experiments and the Criterion benches.
 
+use anet_families::{necklace, ring_of_cliques};
 use anet_graph::{generators, Graph};
 use anet_views::election_index;
 
@@ -65,6 +66,54 @@ pub fn bench_graphs() -> Vec<Instance> {
     out
 }
 
+/// Large-scale instances at roughly n ∈ {1k, 5k, 10k}: rings of cliques
+/// (Theorem 3.2, `φ = 1`), necklaces (Theorem 3.3, `φ = 3`) and sparse random
+/// connected graphs with average degree ≈ 4. Every construction is feasible
+/// by design, so no `election_index` filter runs here — these instances are
+/// consumed by `cargo bench` and the JSON perf sweep only, keeping
+/// `cargo test` fast.
+pub fn large_graphs() -> Vec<Instance> {
+    large_graphs_up_to(usize::MAX)
+}
+
+/// The [`large_graphs`] sweep restricted to instances with at most `max_n`
+/// nodes (instances above the cap are never constructed). Used by the CI
+/// smoke run and by tests to exercise only the smallest tier.
+pub fn large_graphs_up_to(max_n: usize) -> Vec<Instance> {
+    let mut out = Vec::new();
+    // Ring of cliques H_k with k (x+1)-cliques: n = k (x + 1).
+    for (k, x) in [(166usize, 5usize), (833, 5), (1428, 6)] {
+        let n = ring_of_cliques::family_gk_num_nodes(k, x);
+        if n <= max_n {
+            out.push(Instance {
+                name: format!("ring_of_cliques(k={k},x={x},n={n})"),
+                graph: ring_of_cliques::ring_of_cliques_base(k, x),
+            });
+        }
+    }
+    // Necklaces M_k with x = 5, φ = 3: n = 11k - 1.
+    for k in [92usize, 454, 910] {
+        let params = necklace::NecklaceParams { k, x: 5, phi: 3 };
+        let n = params.num_nodes();
+        if n <= max_n {
+            out.push(Instance {
+                name: format!("necklace(k={k},x=5,phi=3,n={n})"),
+                graph: necklace::necklace_base(params),
+            });
+        }
+    }
+    // Sparse random connected graphs, average degree ≈ 4.
+    for (n, seed) in [(1000usize, 101u64), (5000, 102), (10000, 103)] {
+        if n <= max_n {
+            out.push(Instance {
+                name: format!("random_sparse(n={n},seed={seed})"),
+                graph: generators::random_connected_sparse(n, n, seed),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +126,28 @@ mod tests {
             assert!(election_index(&inst.graph).is_some(), "{}", inst.name);
         }
         assert!(!bench_graphs().is_empty());
+    }
+
+    #[test]
+    fn large_graphs_smallest_tier_is_feasible() {
+        // Only the ~1k-node tier is constructed in tests; the 5k/10k tiers
+        // are exercised by the benches and the JSON sweep.
+        let tier = large_graphs_up_to(1100);
+        assert_eq!(tier.len(), 3);
+        for inst in &tier {
+            let n = inst.graph.num_nodes();
+            assert!((900..=1100).contains(&n), "{}: n = {n}", inst.name);
+            assert!(election_index(&inst.graph).is_some(), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn large_graphs_cover_the_three_scales() {
+        // Target sizes without constructing the graphs.
+        let k_x = [(166usize, 5usize), (833, 5), (1428, 6)];
+        for (k, x) in k_x {
+            let n = ring_of_cliques::family_gk_num_nodes(k, x);
+            assert!((990..=10_000).contains(&n), "ring_of_cliques k={k}: n={n}");
+        }
     }
 }

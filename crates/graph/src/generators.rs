@@ -4,6 +4,8 @@
 //! rings with ports 0/1 in clockwise order); otherwise the smallest-unused
 //! rule of [`GraphBuilder`](crate::GraphBuilder) applies.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -203,6 +205,57 @@ pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
     b.build().unwrap()
 }
 
+/// A connected sparse random graph on `n >= 2` nodes built in expected
+/// `O(n + extra_edges)` time: a random recursive-attachment spanning tree
+/// (guaranteeing connectivity; *not* uniform over all spanning trees) plus
+/// up to `extra_edges` distinct non-tree edges sampled by rejection. Ports are assigned by the smallest-unused rule in a random
+/// edge order, which breaks symmetry with high probability.
+///
+/// This is the generator to use for large instances (10⁴ nodes and beyond):
+/// [`random_connected`] enumerates all `O(n²)` node pairs and is only
+/// practical up to a few hundred nodes.
+pub fn random_connected_sparse(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1 + extra_edges);
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(n - 1 + extra_edges);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let (u, v) = (order[i], order[j]);
+        let key = (u.min(v), u.max(v));
+        edges.push(key);
+        seen.insert(key);
+    }
+    // Rejection-sample the extra edges; the attempt budget keeps termination
+    // unconditional even when `extra_edges` approaches the complete graph.
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let target = extra_edges.min(max_extra);
+    let mut added = 0;
+    let mut attempts = 0;
+    let budget = 20 * target + 100;
+    while added < target && attempts < budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push(key);
+            added += 1;
+        }
+    }
+    edges.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge_auto(u, v).unwrap();
+    }
+    b.build().unwrap()
+}
+
 /// A random tree on `n >= 2` nodes (uniform attachment), with random port
 /// order.
 pub fn random_tree(n: usize, seed: u64) -> Graph {
@@ -323,6 +376,25 @@ mod tests {
         assert!(g1.is_connected());
         let g3 = random_connected(30, 0.1, 43);
         assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn random_connected_sparse_is_connected_and_deterministic() {
+        let g1 = random_connected_sparse(5000, 5000, 21);
+        assert!(g1.is_connected());
+        assert_eq!(g1.num_nodes(), 5000);
+        // The spanning tree contributes 4999 edges; rejection sampling finds
+        // (almost) all of the extra 5000 within its attempt budget.
+        assert!(g1.num_edges() >= 9000);
+        let g2 = random_connected_sparse(5000, 5000, 21);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, random_connected_sparse(5000, 5000, 22));
+    }
+
+    #[test]
+    fn random_connected_sparse_caps_extra_edges_at_complete_graph() {
+        let g = random_connected_sparse(5, 1000, 3);
+        assert_eq!(g.num_edges(), 10);
     }
 
     #[test]

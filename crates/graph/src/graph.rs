@@ -138,6 +138,17 @@ impl Graph {
         self.adj[v].iter().enumerate().map(|(p, &(u, q))| (p, u, q))
     }
 
+    /// The `(neighbor, reverse_port)` pairs at node `v`, indexed by port.
+    ///
+    /// `neighbor_slice(v)[p]` equals [`neighbor`](Self::neighbor)`(v, p)`.
+    /// This is the CSR-style accessor hot loops (partition refinement, walk
+    /// propagation) use to scan a node's incident edges without the
+    /// per-element closure indirection of [`ports`](Self::ports).
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[(NodeId, Port)] {
+        &self.adj[v]
+    }
+
     /// Iterator over the neighbors of `v` (in port order).
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.adj[v].iter().map(|&(u, _)| u)
@@ -247,6 +258,18 @@ mod tests {
         for v in g.nodes() {
             for (p, u, q) in g.ports(v) {
                 assert_eq!(g.neighbor(u, q), (v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_slice_is_indexed_by_port() {
+        let g = triangle();
+        for v in g.nodes() {
+            let slice = g.neighbor_slice(v);
+            assert_eq!(slice.len(), g.degree(v));
+            for (p, &pair) in slice.iter().enumerate() {
+                assert_eq!(pair, g.neighbor(v, p));
             }
         }
     }

@@ -4,10 +4,14 @@
 //! fall in the same class of the refinement below. This avoids materializing
 //! view trees (whose size grows as `degree^depth`) and is the engine behind
 //! the election-index computation and the simulator's view oracle.
+//!
+//! The per-depth ranking work is delegated to [`crate::refine`], which keeps
+//! one flat reusable scratch per graph; this module only owns the resulting
+//! class table and the depth-iteration strategies.
 
-use std::collections::BTreeMap;
+use anet_graph::{Graph, NodeId};
 
-use anet_graph::{Graph, NodeId, Port};
+use crate::refine::{RefineOptions, Refiner};
 
 /// A dense class identifier. Classes at depth `d` are numbered `0..k_d` in
 /// the canonical order of the corresponding views (class 0 is the
@@ -23,7 +27,9 @@ pub type ClassId = usize;
 /// * `class_of(d, u) < class_of(d, v)` ⇔ `B^d(u) < B^d(v)` in the canonical
 ///   order.
 ///
-/// Both are checked by property tests against the explicit trees.
+/// Both are checked by property tests against the explicit trees, and the
+/// flat-buffer engine is additionally checked against the seed `BTreeMap`
+/// ranking kept in `refine::legacy`.
 #[derive(Debug, Clone)]
 pub struct ViewClasses {
     /// `classes[d][v]` = class id of `B^d(v)`.
@@ -32,42 +38,20 @@ pub struct ViewClasses {
     num_classes: Vec<usize>,
 }
 
-/// The refinement key of a node at depth `d`: its degree together with, per
-/// port, the reverse port and the class of the neighbor at depth `d-1`.
-/// Ordering of keys mirrors the canonical order on views.
-type Key = (usize, Vec<(Port, ClassId)>);
-
 impl ViewClasses {
     /// Computes classes for all depths `0..=max_depth`.
     pub fn compute(g: &Graph, max_depth: usize) -> Self {
-        let n = g.num_nodes();
-        let mut classes: Vec<Vec<ClassId>> = Vec::with_capacity(max_depth + 1);
-        let mut num_classes = Vec::with_capacity(max_depth + 1);
+        Self::compute_with(g, max_depth, &RefineOptions::default())
+    }
 
-        // Depth 0: classes by degree, ranked by degree value.
-        let keys0: Vec<Key> = (0..n).map(|v| (g.degree(v), Vec::new())).collect();
-        let (c0, k0) = rank_keys(&keys0);
-        classes.push(c0);
-        num_classes.push(k0);
-
-        for d in 1..=max_depth {
-            let prev = &classes[d - 1];
-            let keys: Vec<Key> = (0..n)
-                .map(|v| {
-                    (
-                        g.degree(v),
-                        g.ports(v).map(|(_, u, q)| (q, prev[u])).collect(),
-                    )
-                })
-                .collect();
-            let (c, k) = rank_keys(&keys);
-            classes.push(c);
-            num_classes.push(k);
+    /// [`compute`](Self::compute) with explicit engine options (e.g. a
+    /// thread count for the parallel key-fill phase).
+    pub fn compute_with(g: &Graph, max_depth: usize, opts: &RefineOptions) -> Self {
+        let (mut table, mut refiner) = Self::depth_zero(g);
+        for _ in 1..=max_depth {
+            table.extend_one_depth(g, &mut refiner, opts);
         }
-        ViewClasses {
-            classes,
-            num_classes,
-        }
+        table
     }
 
     /// Computes classes depth by depth until the partition stabilizes (the
@@ -79,31 +63,58 @@ impl ViewClasses {
     /// every larger depth, so views at depth `>= d-1` separate exactly the
     /// same node pairs as infinite views.
     pub fn compute_until_stable(g: &Graph) -> (Self, usize) {
+        Self::compute_until_stable_with(g, &RefineOptions::default())
+    }
+
+    /// [`compute_until_stable`](Self::compute_until_stable) with explicit
+    /// engine options.
+    pub fn compute_until_stable_with(g: &Graph, opts: &RefineOptions) -> (Self, usize) {
         let n = g.num_nodes();
-        let mut table = ViewClasses::compute(g, 0);
-        let mut d = 0;
+        let (mut table, mut refiner) = Self::depth_zero(g);
         loop {
+            let d = table.max_depth();
             if table.num_classes[d] == n {
                 return (table, d);
             }
-            // Extend to depth d+1.
-            let prev = &table.classes[d];
-            let keys: Vec<Key> = (0..n)
-                .map(|v| {
-                    (
-                        g.degree(v),
-                        g.ports(v).map(|(_, u, q)| (q, prev[u])).collect(),
-                    )
-                })
-                .collect();
-            let (c, k) = rank_keys(&keys);
-            let stable = k == table.num_classes[d];
-            table.classes.push(c);
-            table.num_classes.push(k);
-            d += 1;
-            if stable {
-                return (table, d);
+            if table.extend_one_depth(g, &mut refiner, opts) {
+                return (table, d + 1);
             }
+        }
+    }
+
+    /// The depth-0 table (classes by degree) plus the reusable engine
+    /// scratch for extending it.
+    fn depth_zero(g: &Graph) -> (Self, Refiner) {
+        let mut refiner = Refiner::new(g);
+        let (c0, k0) = refiner.rank_by_degree(g);
+        let table = ViewClasses {
+            classes: vec![c0],
+            num_classes: vec![k0],
+        };
+        (table, refiner)
+    }
+
+    /// Extends the table by one depth through the shared refinement step and
+    /// returns whether the partition just stabilized (class count did not
+    /// grow).
+    fn extend_one_depth(&mut self, g: &Graph, refiner: &mut Refiner, opts: &RefineOptions) -> bool {
+        let d = self.max_depth();
+        let (row, k) = refiner.extend(g, &self.classes[d], self.num_classes[d], opts);
+        let stable = k == self.num_classes[d];
+        self.classes.push(row);
+        self.num_classes.push(k);
+        stable
+    }
+
+    /// Full class tables computed with the seed `BTreeMap` engine. Exposed
+    /// (hidden) so benches and property tests can pit the flat-buffer engine
+    /// against the original implementation; not part of the public API.
+    #[doc(hidden)]
+    pub fn compute_legacy(g: &Graph, max_depth: usize) -> Self {
+        let (classes, num_classes) = crate::refine::legacy::compute(g, max_depth);
+        ViewClasses {
+            classes,
+            num_classes,
         }
     }
 
@@ -147,29 +158,6 @@ impl ViewClasses {
     }
 }
 
-/// Ranks keys: assigns to each position the rank of its key in the sorted
-/// order of distinct keys. Returns the ranks and the number of distinct keys.
-fn rank_keys(keys: &[Key]) -> (Vec<ClassId>, usize) {
-    let mut distinct: BTreeMap<&Key, ClassId> = BTreeMap::new();
-    for k in keys {
-        let next = distinct.len();
-        distinct.entry(k).or_insert(next);
-    }
-    // BTreeMap iterates in key order; re-rank so class ids follow that order.
-    let mut ordered: Vec<(&Key, ClassId)> = distinct.iter().map(|(k, &v)| (*k, v)).collect();
-    ordered.sort_by(|a, b| a.0.cmp(b.0));
-    let mut remap = vec![0; ordered.len()];
-    for (rank, (_, old)) in ordered.iter().enumerate() {
-        remap[*old] = rank;
-    }
-    let mut final_map: BTreeMap<&Key, ClassId> = BTreeMap::new();
-    for (k, old) in distinct {
-        final_map.insert(k, remap[old]);
-    }
-    let ranks = keys.iter().map(|k| final_map[k]).collect();
-    (ranks, final_map.len())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,12 +185,37 @@ mod tests {
         }
     }
 
+    /// The seed engine as a test oracle: identical class tables, depth by
+    /// depth, on seeded random graphs. The `threads` runs here only cover
+    /// the option plumbing (the graphs sit below the engine's parallel
+    /// threshold); the threaded fill itself is exercised by
+    /// `refine::tests::parallel_key_fill_matches_sequential` and
+    /// `election_index::tests::analyze_with_threads_matches_sequential`.
+    fn check_against_legacy_oracle(g: &Graph, max_depth: usize, threads: usize) {
+        let oracle = ViewClasses::compute_legacy(g, max_depth);
+        let table = ViewClasses::compute_with(g, max_depth, &RefineOptions { threads });
+        for d in 0..=max_depth {
+            assert_eq!(table.classes_at(d), oracle.classes_at(d), "depth {d}");
+            assert_eq!(table.num_classes(d), oracle.num_classes(d), "depth {d}");
+        }
+    }
+
     #[test]
     fn classes_match_explicit_views_on_structured_graphs() {
         check_against_explicit(&generators::star(4), 3);
         check_against_explicit(&generators::lollipop(4, 3), 3);
         check_against_explicit(&generators::caterpillar(4), 3);
         check_against_explicit(&generators::path(6), 4);
+    }
+
+    #[test]
+    fn engine_matches_legacy_oracle_on_seeded_random_graphs() {
+        for seed in 0..10 {
+            let n = 12 + (seed as usize) * 7;
+            let g = generators::random_connected(n, 0.1, seed);
+            check_against_legacy_oracle(&g, 5, 1);
+            check_against_legacy_oracle(&g, 5, 4);
+        }
     }
 
     #[test]

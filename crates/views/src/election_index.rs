@@ -10,6 +10,7 @@
 use anet_graph::Graph;
 
 use crate::classes::ViewClasses;
+use crate::refine::RefineOptions;
 use crate::view::AugmentedView;
 
 /// Result of the feasibility analysis of a graph.
@@ -28,8 +29,14 @@ pub struct FeasibilityReport {
 
 /// Analyzes feasibility and the election index of `g` in one pass.
 pub fn analyze(g: &Graph) -> FeasibilityReport {
+    analyze_with(g, &RefineOptions::default())
+}
+
+/// [`analyze`] with explicit refinement-engine options (e.g. a thread count
+/// for the parallel key-fill phase on large graphs).
+pub fn analyze_with(g: &Graph, opts: &RefineOptions) -> FeasibilityReport {
     let n = g.num_nodes();
-    let (table, stable_depth) = ViewClasses::compute_until_stable(g);
+    let (table, stable_depth) = ViewClasses::compute_until_stable_with(g, opts);
     let distinct = table.num_classes(table.max_depth());
     if distinct < n {
         return FeasibilityReport {
@@ -187,6 +194,18 @@ mod tests {
                     "φ = {phi} exceeds O(D log(n/D)) bound {bound}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn analyze_with_threads_matches_sequential() {
+        // Graphs large enough to cross the engine's parallel key-fill
+        // threshold, so the threaded path really runs end to end.
+        for seed in 0..2 {
+            let g = generators::random_connected_sparse(3000, 3000, seed);
+            let seq = analyze(&g);
+            let par = analyze_with(&g, &crate::refine::RefineOptions { threads: 4 });
+            assert_eq!(seq, par, "seed {seed}");
         }
     }
 

@@ -14,6 +14,11 @@
 //!   Class ranks are assigned consistently with the canonical order of the
 //!   corresponding views, so the table can also answer "which node has the
 //!   lexicographically smallest view at depth `d`".
+//! * [`refine`] — the flat-buffer, sort-based ranking engine behind
+//!   [`ViewClasses`]: a CSR scratch of packed `u64` key words reused across
+//!   depths, counting/radix sorts for the ranking, and an opt-in
+//!   `std::thread::scope` parallel key-fill ([`RefineOptions`]). Scales the
+//!   refinement to graphs with tens of thousands of nodes.
 //! * [`election_index`] — the election index `φ(G)`: the smallest `l` such
 //!   that the augmented truncated views at depth `l` of all nodes are
 //!   distinct (Proposition 2.1), or `None` when the graph is infeasible.
@@ -36,9 +41,11 @@
 
 pub mod classes;
 pub mod election_index;
+pub mod refine;
 pub mod view;
 pub mod walks;
 
 pub use classes::ViewClasses;
 pub use election_index::{election_index, election_index_naive, is_feasible, FeasibilityReport};
+pub use refine::{RefineOptions, Refiner};
 pub use view::AugmentedView;

@@ -14,17 +14,12 @@ use anet_graph::{Graph, NodeId};
 pub fn reach_exact(g: &Graph, v: NodeId, t: usize) -> Vec<bool> {
     let n = g.num_nodes();
     let mut cur = vec![false; n];
+    let mut next = vec![false; n];
     cur[v] = true;
     for _ in 0..t {
-        let mut next = vec![false; n];
-        for (u, &reached) in cur.iter().enumerate() {
-            if reached {
-                for w in g.neighbors(u) {
-                    next[w] = true;
-                }
-            }
-        }
-        cur = next;
+        next.fill(false);
+        propagate(g, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
     }
     cur
 }
@@ -35,23 +30,30 @@ pub fn reach_within(g: &Graph, v: NodeId, t: usize) -> Vec<bool> {
     let n = g.num_nodes();
     let mut within = vec![false; n];
     let mut cur = vec![false; n];
+    let mut next = vec![false; n];
     cur[v] = true;
     within[v] = true;
     for _ in 0..t {
-        let mut next = vec![false; n];
-        for (u, &reached) in cur.iter().enumerate() {
-            if reached {
-                for w in g.neighbors(u) {
-                    next[w] = true;
-                }
-            }
+        next.fill(false);
+        propagate(g, &cur, &mut next);
+        for (w, n) in within.iter_mut().zip(next.iter()) {
+            *w |= n;
         }
-        for u in 0..n {
-            within[u] |= next[u];
-        }
-        cur = next;
+        std::mem::swap(&mut cur, &mut next);
     }
     within
+}
+
+/// One walk step: marks in `next` every node adjacent to a marked node of
+/// `cur`, scanning incident edges through the flat neighbor slices.
+fn propagate(g: &Graph, cur: &[bool], next: &mut [bool]) {
+    for (u, &reached) in cur.iter().enumerate() {
+        if reached {
+            for &(w, _) in g.neighbor_slice(u) {
+                next[w] = true;
+            }
+        }
+    }
 }
 
 /// Lists the members of a membership vector.

@@ -54,6 +54,37 @@ proptest! {
     }
 
     #[test]
+    fn refine_engine_matches_btreemap_oracle((n, p, seed) in graph_params()) {
+        // The flat-buffer sort-based engine must reproduce the seed BTreeMap
+        // ranking exactly: same class rows (hence same canonical order) and
+        // same class counts at every depth.
+        let g = generators::random_connected(n, p, seed);
+        let depth = 4usize;
+        let table = ViewClasses::compute(&g, depth);
+        let oracle = ViewClasses::compute_legacy(&g, depth);
+        for d in 0..=depth {
+            prop_assert_eq!(table.classes_at(d), oracle.classes_at(d));
+            prop_assert_eq!(table.num_classes(d), oracle.num_classes(d));
+        }
+    }
+
+    #[test]
+    fn refinement_class_order_matches_canonical_view_order((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed);
+        let depth = 3usize;
+        let table = ViewClasses::compute(&g, depth);
+        let views = AugmentedView::compute_all(&g, depth);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    table.class_of(depth, u).cmp(&table.class_of(depth, v)),
+                    views[u].cmp(&views[v])
+                );
+            }
+        }
+    }
+
+    #[test]
     fn election_index_engines_agree((n, p, seed) in graph_params()) {
         let g = generators::random_connected(n, p, seed);
         let fast = election_index(&g);
