@@ -32,7 +32,7 @@ pub fn concat(parts: &[BitString]) -> BitString {
     out
 }
 
-/// Errors that can occur while decoding a [`concat`]-encoded string.
+/// Errors that can occur while decoding a [`concat()`]-encoded string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// The string ends in the middle of a doubled bit or separator.
@@ -58,7 +58,7 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Decodes a [`concat`]-encoded string back into the original sequence of
+/// Decodes a [`concat()`]-encoded string back into the original sequence of
 /// substrings.
 ///
 /// `decode(concat(xs)) == xs` for every sequence `xs` with at least one

@@ -7,7 +7,7 @@
 //! label, and output the port sequence of the tree path to the root.
 //!
 //! The codec here is a preorder recursive encoding packed with the doubling
-//! [`concat`](crate::codec::concat) code; for an `n`-node tree with labels in
+//! [`crate::codec::concat`] code; for an `n`-node tree with labels in
 //! `O(n)` its length is `O(n log n)` bits (Proposition 3.1).
 
 use crate::bitstring::BitString;
@@ -85,6 +85,69 @@ impl LabeledTree {
             }
         }
         None
+    }
+
+    /// The parent relation of the tree, indexed by label: maps the label of
+    /// every non-root node to `(parent_label, port_at_node, port_at_parent)`.
+    ///
+    /// Built in one `O(n)` traversal, this turns [`path_to_root`] — an
+    /// `O(n)` tree search per query — into an `O(path length)` walk per
+    /// node, which is what lets a 10k-node election assemble all of its
+    /// outputs in `O(Σ path lengths)` total:
+    ///
+    /// ```
+    /// use anet_advice::LabeledTree;
+    ///
+    /// let tree = LabeledTree {
+    ///     label: 1,
+    ///     children: vec![(0, 1, LabeledTree::leaf(2))],
+    /// };
+    /// let parents = tree.parent_map();
+    /// assert_eq!(parents.get(&2), Some(&(1, 1, 0)));
+    /// // Walking the map reproduces path_to_root exactly.
+    /// assert_eq!(tree.path_to_root(2), Some(vec![1, 0]));
+    /// ```
+    ///
+    /// [`path_to_root`]: LabeledTree::path_to_root
+    pub fn parent_map(&self) -> std::collections::HashMap<u64, (u64, u64, u64)> {
+        let mut map = std::collections::HashMap::new();
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            for (port_here, port_child, child) in &node.children {
+                map.insert(child.label, (node.label, *port_child, *port_here));
+                stack.push(child);
+            }
+        }
+        map
+    }
+
+    /// Walks a parent relation produced by [`parent_map`] from the node
+    /// labeled `label` up to the root: the `O(path length)` equivalent of
+    /// [`path_to_root`], with identical output. Returns `None` if the label
+    /// is absent or the relation is malformed (a cycle, or a chain that
+    /// never reaches the root).
+    ///
+    /// [`parent_map`]: LabeledTree::parent_map
+    /// [`path_to_root`]: LabeledTree::path_to_root
+    pub fn path_to_root_via(
+        &self,
+        parents: &std::collections::HashMap<u64, (u64, u64, u64)>,
+        label: u64,
+    ) -> Option<Vec<u64>> {
+        let mut flat = Vec::new();
+        let mut cur = label;
+        let mut hops = 0usize;
+        while cur != self.label {
+            let &(parent, port_child, port_parent) = parents.get(&cur)?;
+            flat.push(port_child);
+            flat.push(port_parent);
+            cur = parent;
+            hops += 1;
+            if hops > parents.len() {
+                return None;
+            }
+        }
+        Some(flat)
     }
 
     /// Encodes the tree as a uniquely decodable bit string of length
@@ -185,6 +248,27 @@ mod tests {
         assert_eq!(t.path_to_root(2), Some(vec![1, 0]));
         assert_eq!(t.path_to_root(1), Some(vec![]));
         assert_eq!(t.path_to_root(7), None);
+    }
+
+    #[test]
+    fn parent_map_walk_reproduces_path_to_root() {
+        let t = sample_tree();
+        let parents = t.parent_map();
+        assert_eq!(parents.len(), t.size() - 1);
+        for label in t.labels() {
+            assert_eq!(
+                t.path_to_root_via(&parents, label),
+                t.path_to_root(label),
+                "label {label}"
+            );
+        }
+        assert!(!parents.contains_key(&t.label));
+        // Absent labels and cyclic relations are rejected, not looped on.
+        assert_eq!(t.path_to_root_via(&parents, 99), None);
+        let mut cyclic = std::collections::HashMap::new();
+        cyclic.insert(7u64, (8u64, 0u64, 0u64));
+        cyclic.insert(8u64, (7u64, 0u64, 0u64));
+        assert_eq!(t.path_to_root_via(&cyclic, 7), None);
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl Trie {
     /// The encoding is a preorder traversal: a leaf is the substring `0`, an
     /// internal node is the substring `1` followed by the two query integers
     /// and then the two subtries; the whole sequence is packed with the
-    /// doubling [`concat`] code. For a trie with `O(n)` nodes whose query
+    /// doubling [`concat()`] code. For a trie with `O(n)` nodes whose query
     /// integers are `O(n log n)`, the length is `O(n log n)` bits
     /// (Proposition 3.2).
     pub fn encode(&self) -> BitString {

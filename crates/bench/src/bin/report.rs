@@ -10,9 +10,13 @@
 //! # election-index perf sweep (bench_graphs + large_graphs), JSON emission:
 //! cargo run --release -p anet-bench --bin report -- bench-index \
 //!     --json BENCH_election_index.json [--max-n 10000] [--threads 4]
+//!
+//! # end-to-end election perf sweep (advice / simulation / verify phases):
+//! cargo run --release -p anet-bench --bin report -- bench-elect \
+//!     --json BENCH_elect.json [--max-n 10000] [--threads 4]
 //! ```
 
-use anet_bench::{bench_json, experiments};
+use anet_bench::{bench_elect, bench_json, experiments};
 
 /// Runs the `bench-index` sweep, printing a table and optionally writing the
 /// JSON trajectory file.
@@ -38,36 +42,94 @@ fn run_bench_index(json: Option<&str>, max_n: usize, threads: usize) {
     }
 }
 
+/// Runs the `bench-elect` sweep, printing a per-phase table and optionally
+/// writing the JSON trajectory file.
+fn run_bench_elect(json: Option<&str>, max_n: usize, threads: usize) {
+    let records = bench_elect::run_elect_sweep(max_n, threads);
+    println!("# End-to-end election perf sweep (max_n = {max_n}, threads = {threads})");
+    println!(
+        "{:<40} {:>7} {:>8} {:>4} {:>5} {:>10} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "instance",
+        "n",
+        "m",
+        "phi",
+        "time",
+        "advice_b",
+        "messages",
+        "views",
+        "advice_ms",
+        "sim_ms",
+        "verify_ms"
+    );
+    for r in &records {
+        println!(
+            "{:<40} {:>7} {:>8} {:>4} {:>5} {:>10} {:>9} {:>10} {:>10.3} {:>10.3} {:>10.3}",
+            r.name,
+            r.n,
+            r.m,
+            r.phi,
+            r.time,
+            r.advice_bits,
+            r.messages,
+            r.distinct_views,
+            r.advice_ms,
+            r.sim_ms,
+            r.verify_ms
+        );
+    }
+    if let Some(path) = json {
+        match bench_elect::emit(std::path::Path::new(path), &records) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Parses the shared `--json/--max-n/--threads` flags of the two sweep
+/// subcommands, exiting on malformed input.
+fn parse_sweep_flags(subcommand: &str, args: &[String]) -> (Option<String>, usize, usize) {
+    let mut json: Option<String> = None;
+    let mut max_n = usize::MAX;
+    let mut threads = 1usize;
+    let parse_or_die = |flag: &str, value: Option<&String>| -> usize {
+        match value.map(|v| v.parse()) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("{subcommand}: {flag} needs an unsigned integer value");
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = it.next().cloned(),
+            "--max-n" => max_n = parse_or_die("--max-n", it.next()),
+            "--threads" => threads = parse_or_die("--threads", it.next()),
+            other => {
+                eprintln!("unknown {subcommand} flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (json, max_n, threads)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    if args.first().map(String::as_str) == Some("bench-index") {
-        let mut json: Option<String> = None;
-        let mut max_n = usize::MAX;
-        let mut threads = 1usize;
-        let parse_or_die = |flag: &str, value: Option<&String>| -> usize {
-            match value.map(|v| v.parse()) {
-                Some(Ok(v)) => v,
-                _ => {
-                    eprintln!("bench-index: {flag} needs an unsigned integer value");
-                    std::process::exit(2);
-                }
-            }
-        };
-        let mut it = args[1..].iter();
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--json" => json = it.next().cloned(),
-                "--max-n" => max_n = parse_or_die("--max-n", it.next()),
-                "--threads" => threads = parse_or_die("--threads", it.next()),
-                other => {
-                    eprintln!("unknown bench-index flag: {other}");
-                    std::process::exit(2);
-                }
-            }
+    match args.first().map(String::as_str) {
+        Some("bench-index") => {
+            let (json, max_n, threads) = parse_sweep_flags("bench-index", &args[1..]);
+            run_bench_index(json.as_deref(), max_n, threads);
+            return;
         }
-        run_bench_index(json.as_deref(), max_n, threads);
-        return;
+        Some("bench-elect") => {
+            let (json, max_n, threads) = parse_sweep_flags("bench-elect", &args[1..]);
+            run_bench_elect(json.as_deref(), max_n, threads);
+            return;
+        }
+        _ => {}
     }
 
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -100,7 +162,8 @@ fn main() {
                 }
             }
             other => eprintln!(
-                "unknown experiment id: {other} (expected e1..e10, figures, all, bench-index)"
+                "unknown experiment id: {other} \
+                 (expected e1..e10, figures, all, bench-index, bench-elect)"
             ),
         }
     }

@@ -11,9 +11,16 @@
 //! Run `cargo run -p anet-bench --bin report -- all` (or a single experiment
 //! id such as `e1`) to regenerate the tables; `cargo bench` runs the
 //! Criterion timing benchmarks.
+//!
+//! Two perf sweeps track the wall-clock trajectory across PRs (both emitted
+//! by the `report` binary and committed at the repository root):
+//! [`bench_json`] times the φ/feasibility analysis
+//! (`BENCH_election_index.json`), [`bench_elect`] times the full
+//! advice → `COM` → verify election pipeline (`BENCH_elect.json`).
 
 #![forbid(unsafe_code)]
 
+pub mod bench_elect;
 pub mod bench_json;
 pub mod experiments;
 pub mod workloads;

@@ -139,6 +139,19 @@ mod tests {
             assert!((900..=1100).contains(&n), "{}: n = {n}", inst.name);
             assert!(election_index(&inst.graph).is_some(), "{}", inst.name);
         }
+        // Tripwire: the umbrella end-to-end test reconstructs exactly these
+        // instances without linking anet-bench. If this tier is retuned,
+        // update tests/end_to_end.rs::anet_bench_free_workloads_smallest_tier
+        // to match.
+        let names: Vec<&str> = tier.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "ring_of_cliques(k=166,x=5,n=996)",
+                "necklace(k=92,x=5,phi=3,n=1011)",
+                "random_sparse(n=1000,seed=101)",
+            ]
+        );
     }
 
     #[test]

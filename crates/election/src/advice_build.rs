@@ -15,14 +15,18 @@
 //! Theorem 3.1 bounds the total length by `O(n log n)` bits; the experiment
 //! harness measures it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use anet_advice::{codec, BitString, LabeledTree, Trie};
 use anet_graph::{algo, Graph, NodeId};
-use anet_views::{election_index, AugmentedView};
+use anet_views::election_index::analyze_with;
+use anet_views::{election_index, AugmentedView, RefineOptions, ViewArena, ViewId};
 
 use crate::error::ElectionError;
-use crate::labels::{build_trie, decode_e2, encode_e2, retrieve_label, NestedList};
+use crate::labels::{
+    build_trie, build_trie_arena, decode_e2, encode_e2, retrieve_label, retrieve_label_arena,
+    LabelMemo, NestedList,
+};
 
 /// The advice produced by the oracle, together with the intermediate objects
 /// (useful for inspection, tests and the experiment harness). Only
@@ -68,11 +72,97 @@ pub struct DecodedAdvice {
     pub tree: LabeledTree,
 }
 
-/// Runs `ComputeAdvice(G)` (Algorithm 5).
+/// Runs `ComputeAdvice(G)` (Algorithm 5) on the hash-consed view arena.
+///
+/// Every view set the algorithm manipulates is held as interned
+/// [`ViewId`]s: grouping nodes by their depth-`(i-1)` view is id grouping,
+/// the `BuildTrie` splits compare ids, and `RetrieveLabel` is memoized per
+/// distinct view — so the oracle side scales to the same `large_graphs()`
+/// sweep as the φ engine. [`compute_advice_reference`] keeps the original
+/// materialized-tree construction; both produce bit-identical advice
+/// (asserted by unit and property tests).
 ///
 /// Returns an error if the graph is infeasible (no advice can enable leader
 /// election in that case).
 pub fn compute_advice(g: &Graph) -> Result<Advice, ElectionError> {
+    compute_advice_with(g, &RefineOptions::default())
+}
+
+/// [`compute_advice`] with explicit refinement-engine options (e.g. a thread
+/// count for the φ computation's parallel key-fill phase on large graphs).
+pub fn compute_advice_with(g: &Graph, opts: &RefineOptions) -> Result<Advice, ElectionError> {
+    let phi = analyze_with(g, opts)
+        .election_index
+        .ok_or(ElectionError::Infeasible)?;
+    debug_assert!(phi >= 1);
+
+    // Interned views of every node at every depth 0..=φ, shared bottom-up.
+    let mut arena = ViewArena::new();
+    let levels = arena.compute_levels(g, phi);
+    let mut memo = LabelMemo::new();
+
+    // E1: the trie over all distinct depth-1 views.
+    let distinct_1 = distinct_sorted_ids(&arena, &levels[1]);
+    let e1 = build_trie_arena(&mut arena, &distinct_1, None, &Vec::new(), &mut memo);
+
+    // E2: iteratively add one (i, L(i)) entry per depth 2..=φ.
+    let mut e2: NestedList = Vec::new();
+    for i in 2..=phi {
+        // Group nodes by their depth-(i-1) view, in canonical view order.
+        let mut groups: HashMap<ViewId, Vec<NodeId>> = HashMap::new();
+        for v in g.nodes() {
+            groups.entry(levels[i - 1][v]).or_default().push(v);
+        }
+        let mut keys: Vec<ViewId> = groups.keys().copied().collect();
+        keys.sort_by(|&a, &b| arena.cmp_views(a, b));
+        let mut l_i: Vec<(u64, Trie)> = Vec::new();
+        for b_prime in keys {
+            let members: Vec<ViewId> = groups[&b_prime].iter().map(|&v| levels[i][v]).collect();
+            let x = distinct_sorted_ids(&arena, &members);
+            if x.len() > 1 {
+                let j = retrieve_label_arena(&mut arena, b_prime, &e1, &e2, &mut memo);
+                let t_j = build_trie_arena(&mut arena, &x, Some(&e1), &e2, &mut memo);
+                l_i.push((j, t_j));
+            }
+        }
+        e2.push((i as u64, l_i));
+    }
+
+    // Labels at depth φ: a permutation of 1..=n (Claim 3.7 / Proposition 2.1).
+    let labels: Vec<u64> = levels[phi]
+        .iter()
+        .map(|&id| retrieve_label_arena(&mut arena, id, &e1, &e2, &mut memo))
+        .collect();
+    let root = labels
+        .iter()
+        .position(|&l| l == 1)
+        .expect("some node is labeled 1");
+
+    // A2: the canonical BFS tree rooted at the node labeled 1, node labels
+    // from `labels`.
+    let tree = build_labeled_bfs_tree(g, root, &labels);
+
+    // Pack the advice.
+    let a1 = codec::concat(&[e1.encode(), encode_e2(&e2)]);
+    let a2 = tree.encode();
+    let bits = codec::concat(&[BitString::from_uint(phi as u64), a1, a2]);
+
+    Ok(Advice {
+        bits,
+        phi,
+        e1,
+        e2,
+        tree,
+        labels,
+        root,
+    })
+}
+
+/// The original `ComputeAdvice` over materialized [`AugmentedView`] trees —
+/// exponential in `φ`, kept verbatim as the correctness oracle for
+/// [`compute_advice`] (property tests assert bit-identical advice on random
+/// feasible graphs).
+pub fn compute_advice_reference(g: &Graph) -> Result<Advice, ElectionError> {
     let phi = election_index(g).ok_or(ElectionError::Infeasible)?;
     debug_assert!(phi >= 1);
 
@@ -213,6 +303,16 @@ fn distinct_sorted(views: &[AugmentedView]) -> Vec<AugmentedView> {
     out
 }
 
+/// Deduplicates and canonically sorts a collection of interned views (the
+/// arena analogue of [`distinct_sorted`]: id dedup after a
+/// [`ViewArena::cmp_views`] sort).
+fn distinct_sorted_ids(arena: &ViewArena, ids: &[ViewId]) -> Vec<ViewId> {
+    let mut out = ids.to_vec();
+    out.sort_by(|&a, &b| arena.cmp_views(a, b));
+    out.dedup();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +342,20 @@ mod tests {
             labels.sort_unstable();
             let expected: Vec<u64> = (1..=g.num_nodes() as u64).collect();
             assert_eq!(labels, expected, "labels must be a permutation of 1..=n");
+        }
+    }
+
+    #[test]
+    fn arena_advice_is_bit_identical_to_reference_oracle() {
+        for g in feasible_samples() {
+            let arena = compute_advice(&g).unwrap();
+            let reference = compute_advice_reference(&g).unwrap();
+            assert_eq!(arena.bits, reference.bits, "advice bits must be identical");
+            assert_eq!(arena.labels, reference.labels);
+            assert_eq!(arena.root, reference.root);
+            assert_eq!(arena.e1, reference.e1);
+            assert_eq!(arena.e2, reference.e2);
+            assert_eq!(arena.tree, reference.tree);
         }
     }
 

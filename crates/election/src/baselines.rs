@@ -115,6 +115,18 @@ pub struct AdviceComparison {
 }
 
 /// Computes the three-way advice-size comparison for a feasible graph.
+///
+/// ```
+/// use anet_election::baselines::compare_advice_sizes;
+/// use anet_graph::generators;
+///
+/// // A clique with a pendant tail: dense and feasible. The naive view-rank
+/// // labels of Section 3's opening discussion dwarf the trie advice.
+/// let g = generators::lollipop(12, 3);
+/// let cmp = compare_advice_sizes(&g).unwrap();
+/// assert!(cmp.naive_advice_bits > cmp.trie_advice_bits);
+/// assert_eq!(cmp.n, 15);
+/// ```
 pub fn compare_advice_sizes(g: &Graph) -> Result<AdviceComparison, ElectionError> {
     let advice = crate::advice_build::compute_advice(g)?;
     let naive = naive_label_advice_bits(g).ok_or(ElectionError::Infeasible)?;

@@ -13,14 +13,37 @@
 //! [`elect_all`] runs this node algorithm on every node through the LOCAL
 //! simulator, verifies the outcome, and reports the election time and advice
 //! size — the two quantities Theorem 3.1 relates.
+//!
+//! ## Scaling notes
+//!
+//! The simulation exchanges hash-consed [`ViewId`]s against a shared
+//! [`ViewArena`] (see [`anet_sim::com`]), so a round moves `O(m)` words
+//! instead of `O(m · Δ^round)` tree nodes. Three further purely-local
+//! computations are hoisted out of the per-node closures and shared —
+//! none of them changes any node's output, because all three are
+//! deterministic functions of the common advice:
+//!
+//! * the advice string is decoded once instead of once per node,
+//! * `RetrieveLabel` is memoized per distinct view across nodes
+//!   ([`LabelMemo`]), and
+//! * the BFS tree's parent relation is indexed once
+//!   ([`anet_advice::LabeledTree::parent_map`]) so each node's output path
+//!   costs its own length instead of an `O(n)` tree search.
+//!
+//! Together these make [`elect_all`] complete on the full `large_graphs()`
+//! sweep (n up to 10k) in milliseconds-to-seconds; the `bench-elect` sweep
+//! of `anet-bench` records the per-phase timings.
+
+use std::sync::Arc;
 
 use anet_graph::{Graph, NodeId, PortPath};
-use anet_sim::{ComNode, SyncRunner};
-use anet_views::AugmentedView;
+use anet_sim::{ComNode, RunStats, SharedViewArena, SyncRunner};
+use anet_views::{AugmentedView, RefineOptions, ViewArena, ViewId};
+use parking_lot::Mutex;
 
-use crate::advice_build::{compute_advice, decode_advice, Advice, DecodedAdvice};
+use crate::advice_build::{compute_advice_with, decode_advice, Advice, DecodedAdvice};
 use crate::error::ElectionError;
-use crate::labels::retrieve_label;
+use crate::labels::{retrieve_label, retrieve_label_arena, LabelMemo};
 use crate::verify::verify_election;
 
 /// The result of a complete minimum-time election run.
@@ -36,10 +59,32 @@ pub struct ElectionOutcome {
     pub phi: usize,
     /// Per-node outputs (indexed by simulator node id).
     pub outputs: Vec<PortPath>,
+    /// Message statistics of the simulated `COM` exchange.
+    pub stats: RunStats,
+    /// Number of distinct view subtrees interned by the exchange — the
+    /// total working-set size of the hash-consed representation.
+    pub distinct_views: usize,
+}
+
+/// The outputs and statistics of the simulated `Elect` phase, before
+/// verification (so the two can be timed separately by the bench harness).
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    /// Per-node outputs (indexed by simulator node id).
+    pub outputs: Vec<PortPath>,
+    /// The number of communication rounds used.
+    pub time: usize,
+    /// Message statistics of the `COM` exchange.
+    pub stats: RunStats,
+    /// Number of distinct view subtrees interned by the exchange.
+    pub distinct_views: usize,
 }
 
 /// Computes the node output of Algorithm `Elect` from the decoded advice and
-/// the acquired view `B^φ(u)` — the purely local part of the algorithm.
+/// the acquired view `B^φ(u)`, materialized — the purely local part of the
+/// algorithm on the explicit-tree representation. Kept as the oracle the
+/// arena pipeline is compared against (exponential in `φ`; tests and small
+/// graphs only).
 pub fn elect_output(advice: &DecodedAdvice, view: &AugmentedView) -> PortPath {
     let x = retrieve_label(view, &advice.e1, &advice.e2);
     let flat = advice
@@ -54,48 +99,112 @@ pub fn elect_output(advice: &DecodedAdvice, view: &AugmentedView) -> PortPath {
 /// `ComputeAdvice` (oracle) → `Elect` on every node (through the LOCAL
 /// simulator) → verification.
 pub fn elect_all(g: &Graph) -> Result<ElectionOutcome, ElectionError> {
-    let advice = compute_advice(g)?;
+    elect_all_with(g, &RefineOptions::default())
+}
+
+/// [`elect_all`] with explicit refinement-engine options for the oracle's φ
+/// computation.
+pub fn elect_all_with(g: &Graph, opts: &RefineOptions) -> Result<ElectionOutcome, ElectionError> {
+    let advice = compute_advice_with(g, opts)?;
     elect_all_with_advice(g, &advice)
 }
 
 /// Like [`elect_all`] but reuses an already computed [`Advice`] (useful for
-/// benchmarking the two phases separately).
+/// benchmarking the phases separately).
 pub fn elect_all_with_advice(g: &Graph, advice: &Advice) -> Result<ElectionOutcome, ElectionError> {
-    // Every node independently decodes the same bit string, exactly as in the
-    // model (the decoded advice is shared here only to avoid re-decoding per
-    // node; decoding is deterministic so the result is identical).
+    let sim = simulate_election(g, advice)?;
+    let leader = verify_election(g, &sim.outputs)?;
+    Ok(ElectionOutcome {
+        leader,
+        time: sim.time,
+        advice_bits: advice.size_bits(),
+        phi: advice.phi,
+        outputs: sim.outputs,
+        stats: sim.stats,
+        distinct_views: sim.distinct_views,
+    })
+}
+
+/// Runs the node side of Algorithm `Elect` on every node of `g` through the
+/// LOCAL simulator, without verifying the outcome: decode the advice, run
+/// `COM(0..φ)` over the shared view arena, label every node's acquired
+/// `B^φ(u)` and emit its tree path to the leader.
+pub fn simulate_election(g: &Graph, advice: &Advice) -> Result<Simulation, ElectionError> {
+    // Every node independently decodes the same bit string, exactly as in
+    // the model (the decoded advice is shared here only to avoid re-decoding
+    // per node; decoding is deterministic so the result is identical).
     let decoded = decode_advice(&advice.bits)?;
     let phi = decoded.phi;
 
+    // Phase 1: the COM exchange, depositing each node's B^φ id.
+    let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+    let acquired: Arc<Mutex<Vec<Option<ViewId>>>> = Arc::new(Mutex::new(vec![None; g.num_nodes()]));
     let runner = SyncRunner::new(g, phi + 1);
-    let outcome = runner.run(|_degree| {
-        let decoded = decoded.clone();
-        ComNode::new(phi, move |view: &AugmentedView| {
-            elect_output(&decoded, view)
+    let outcome = runner.run_indexed(|slot, _degree| {
+        let acquired = Arc::clone(&acquired);
+        ComNode::new(Arc::clone(&arena), phi, move |_arena, view| {
+            acquired.lock()[slot] = Some(view);
+            PortPath::empty()
         })
     });
+    let time = outcome
+        .election_time()
+        .ok_or_else(|| first_unhalted(&outcome.outputs))?;
 
+    // Phase 2: the purely local output computation (shared across nodes;
+    // see the module docs for why this does not change any node's output).
+    let mut arena = Arc::try_unwrap(arena)
+        .expect("all node instances dropped with the runner")
+        .into_inner();
+    let ids: Vec<ViewId> = acquired
+        .lock()
+        .iter()
+        .map(|v| v.expect("halted nodes deposited their views"))
+        .collect();
+    let mut memo = LabelMemo::new();
+    let parents = decoded.tree.parent_map();
     let mut outputs = Vec::with_capacity(g.num_nodes());
-    for (v, out) in outcome.outputs.iter().enumerate() {
-        match out {
-            Some(path) => outputs.push(path.clone()),
-            None => return Err(ElectionError::NodeDidNotHalt { node: v }),
-        }
+    for &id in &ids {
+        let x = retrieve_label_arena(&mut arena, id, &decoded.e1, &decoded.e2, &mut memo);
+        // O(path length) walk through the pre-indexed parent relation,
+        // identical to LabeledTree::path_to_root.
+        let flat: Vec<usize> = decoded
+            .tree
+            .path_to_root_via(&parents, x)
+            .ok_or_else(|| {
+                ElectionError::MalformedAdvice(format!(
+                    "label {x} has no path to the root in the advice tree"
+                ))
+            })?
+            .iter()
+            .map(|&p| p as usize)
+            .collect();
+        outputs.push(
+            PortPath::from_flat(&flat)
+                .ok_or_else(|| ElectionError::MalformedAdvice("odd-length tree path".into()))?,
+        );
     }
-    let leader = verify_election(g, &outputs)?;
-    let time = outcome.election_time().unwrap_or(0);
-    Ok(ElectionOutcome {
-        leader,
-        time,
-        advice_bits: advice.size_bits(),
-        phi,
+    Ok(Simulation {
         outputs,
+        time,
+        stats: outcome.stats,
+        distinct_views: arena.len(),
     })
+}
+
+/// The error naming the first node that failed to halt.
+fn first_unhalted(outputs: &[Option<PortPath>]) -> ElectionError {
+    let node = outputs
+        .iter()
+        .position(Option::is_none)
+        .expect("called only when some node did not halt");
+    ElectionError::NodeDidNotHalt { node }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advice_build::compute_advice;
     use anet_graph::generators;
     use anet_views::election_index;
 
@@ -145,6 +254,40 @@ mod tests {
                 assert_eq!(path.endpoint(&g, v), Some(outcome.leader));
             }
         }
+    }
+
+    #[test]
+    fn arena_outputs_match_tree_oracle_outputs() {
+        // The per-node output of the arena pipeline must equal
+        // elect_output(decoded advice, materialized B^φ(u)) — the
+        // tree-based reading of Algorithm 6.
+        for g in feasible_samples() {
+            let advice = compute_advice(&g).unwrap();
+            let decoded = decode_advice(&advice.bits).unwrap();
+            let sim = simulate_election(&g, &advice).unwrap();
+            let views = AugmentedView::compute_all(&g, decoded.phi);
+            for v in g.nodes() {
+                assert_eq!(
+                    sim.outputs[v],
+                    elect_output(&decoded, &views[v]),
+                    "node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_stats_are_reported() {
+        let g = generators::lollipop(5, 4);
+        let outcome = elect_all(&g).unwrap();
+        let phi = outcome.phi;
+        // COM sends one 2-word message per edge direction per round.
+        assert_eq!(outcome.stats.rounds, phi);
+        assert_eq!(outcome.stats.messages, 2 * g.num_edges() * phi);
+        assert_eq!(outcome.stats.message_words, 2 * outcome.stats.messages);
+        // The arena holds at most one record per (node, depth) pair.
+        assert!(outcome.distinct_views <= g.num_nodes() * (phi + 1));
+        assert!(outcome.distinct_views > 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`bin_b1`].
 
 use anet_advice::{codec, BitString};
-use anet_views::AugmentedView;
+use anet_views::{AugmentedView, ViewArena, ViewId};
 
 /// The paper's binary representation `bin(B^1(v))` of a view of depth at
 /// least 1 (only the depth-1 truncation is encoded).
@@ -45,6 +45,33 @@ pub fn bin_b1(view: &AugmentedView) -> BitString {
 /// measurements.
 pub fn bin_b1_len(view: &AugmentedView) -> usize {
     bin_b1(view).len()
+}
+
+/// [`bin_b1`] evaluated directly on a hash-consed arena view, without
+/// materializing the tree: the code only reads the depth-1 truncation
+/// (degree, and per port the reverse port and the child's degree), all of
+/// which the arena record exposes in `O(Δ)`.
+///
+/// # Panics
+/// Panics if the view has depth 0.
+pub fn bin_b1_arena(arena: &ViewArena, id: ViewId) -> BitString {
+    assert!(
+        arena.depth(id) >= 1,
+        "bin(B^1) needs a view of depth at least 1"
+    );
+    let triples: Vec<BitString> = arena
+        .children(id)
+        .iter()
+        .enumerate()
+        .map(|(j, &(a_j, sub))| {
+            codec::concat(&[
+                BitString::from_uint(j as u64),
+                BitString::from_uint(a_j as u64),
+                BitString::from_uint(arena.degree(sub) as u64),
+            ])
+        })
+        .collect();
+    codec::concat(&triples)
 }
 
 #[cfg(test)]
@@ -87,6 +114,20 @@ mod tests {
         for v in g.nodes() {
             let len = bin_b1_len(&views[v]) as f64;
             assert!(len <= 40.0 * n * n.log2());
+        }
+    }
+
+    #[test]
+    fn arena_encoding_matches_tree_encoding() {
+        let g = generators::lollipop(4, 3);
+        let mut arena = ViewArena::new();
+        let levels = arena.compute_levels(&g, 2);
+        let trees1 = AugmentedView::compute_all(&g, 1);
+        let trees2 = AugmentedView::compute_all(&g, 2);
+        for v in g.nodes() {
+            assert_eq!(bin_b1_arena(&arena, levels[1][v]), bin_b1(&trees1[v]));
+            // Deeper views encode only their depth-1 truncation, identically.
+            assert_eq!(bin_b1_arena(&arena, levels[2][v]), bin_b1(&trees2[v]));
         }
     }
 

@@ -21,7 +21,7 @@
 //! substitution is recorded in `DESIGN.md`.
 
 use anet_graph::{algo, Graph, NodeId, Port, PortPath};
-use anet_views::{walks, ViewClasses};
+use anet_views::{walks, RefineOptions, ViewClasses};
 
 use crate::error::ElectionError;
 use crate::verify::verify_election;
@@ -48,7 +48,17 @@ pub struct GenericOutcome {
 /// `LeadersDisagree`/`OutputNotSimplePath` only if `x < φ(G)` actually breaks
 /// the election; with `x >= φ(G)` the run always succeeds (Lemma 4.1).
 pub fn generic_elect_all(g: &Graph, x: usize) -> Result<GenericOutcome, ElectionError> {
-    let classes = ViewClasses::compute(g, x);
+    generic_elect_all_with(g, x, &RefineOptions::default())
+}
+
+/// [`generic_elect_all`] with explicit refinement-engine options (e.g. a
+/// thread count for the view-quotient computation on large graphs).
+pub fn generic_elect_all_with(
+    g: &Graph,
+    x: usize,
+    opts: &RefineOptions,
+) -> Result<GenericOutcome, ElectionError> {
+    let classes = ViewClasses::compute_with(g, x, opts);
     let mut halt_rounds = Vec::with_capacity(g.num_nodes());
     let mut outputs = Vec::with_capacity(g.num_nodes());
     for u in g.nodes() {

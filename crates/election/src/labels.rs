@@ -13,10 +13,12 @@
 //! paper-exact `bin(B^1)` code (see [`crate::encoding`]) for views of depth
 //! 1 — the depth-1 trie queries literally ask about bits of that code.
 
-use anet_advice::{codec, BitString, Trie};
-use anet_views::AugmentedView;
+use std::collections::{HashMap, HashSet};
 
-use crate::encoding::bin_b1;
+use anet_advice::{codec, BitString, Trie};
+use anet_views::{AugmentedView, ViewArena, ViewId};
+
+use crate::encoding::{bin_b1, bin_b1_arena};
 
 /// The nested list `E2` of the advice: one entry `(i, L(i))` per depth
 /// `2 <= i <= φ`, where `L(i)` is a list of `(j, T_j)` couples — `j` is a
@@ -192,6 +194,268 @@ pub fn discriminatory_index_and_subview(s: &[AugmentedView]) -> (usize, Augmente
     panic!("views identical at depth l-1 but equal at depth l cannot both be in S");
 }
 
+// ---------------------------------------------------------------------------
+// Arena-based label engine.
+//
+// The functions below answer the same discrimination queries as their
+// tree-based counterparts above, but against hash-consed `ViewId`s: equality
+// of subviews is id equality (O(1)), the canonical order is
+// `ViewArena::cmp_views`, and `bin(B^1)` queries read the `O(Δ)` arena
+// record directly. `retrieve_label_arena` additionally memoizes per distinct
+// view and replaces the `Θ(label)` summation loop of the pseudocode by an
+// `O(|L|)` closed form, which is what makes labeling all n nodes of a
+// 10k-node graph feasible. The tree-based functions remain the oracle: on
+// interned copies of the same views both engines produce identical labels
+// and identical tries (asserted by unit and property tests).
+// ---------------------------------------------------------------------------
+
+/// A memo of `RetrieveLabel` results per distinct view, shared across all
+/// label queries of one advice computation or one election run.
+///
+/// An entry, once computed, stays valid while `E2` grows deeper entries: the
+/// label of a depth-`d` view only consults `E2` entries for depths `<= d`,
+/// and `ComputeAdvice` finalizes those before labeling any depth-`d` view.
+pub type LabelMemo = HashMap<ViewId, u64>;
+
+/// `LocalLabel(B, X, T)` — Algorithm 2 — against an arena view. Identical
+/// query semantics to [`local_label`]; depth-1 queries read
+/// [`bin_b1_arena`] instead of materializing
+/// the view, and the `bin(B^1)` code is computed once per call rather than
+/// once per visited trie node.
+pub fn local_label_arena(arena: &ViewArena, id: ViewId, x: &[u64], t: &Trie) -> u64 {
+    // Only depth-1 queries (empty X) consult the binary representation.
+    let bits = if x.is_empty() && !t.is_leaf() {
+        Some(bin_b1_arena(arena, id))
+    } else {
+        None
+    };
+    let mut t = t;
+    let mut label = 1u64;
+    loop {
+        match t {
+            Trie::Leaf => return label,
+            Trie::Internal { query, left, right } => {
+                let (qx, qy) = *query;
+                let go_left = match &bits {
+                    Some(bits) => {
+                        if qx == 0 {
+                            // "Is the binary representation shorter than y?"
+                            (bits.len() as u64) < qy
+                        } else {
+                            // "Is the y-th bit (1-based) of the binary
+                            // representation 0?" A missing bit (shorter
+                            // string) cannot occur for views reaching this
+                            // query along a consistent trie; treat an absent
+                            // bit as 0 defensively.
+                            !bits.bit((qy as usize).saturating_sub(1)).unwrap_or(false)
+                        }
+                    }
+                    // "Is the (x+1)-th term of X different from y?"
+                    None => x.get(qx as usize).copied() != Some(qy),
+                };
+                if go_left {
+                    t = left;
+                } else {
+                    label += left.num_leaves() as u64;
+                    t = right;
+                }
+            }
+        }
+    }
+}
+
+/// `RetrieveLabel(B, E1, E2)` — Algorithm 3 — against an arena view,
+/// memoized per distinct view.
+///
+/// Produces exactly the label of [`retrieve_label`] on the materialized
+/// tree. The recursion labels each distinct subview once (`memo`), and the
+/// pseudocode's `for i in 1..=label` accumulation is evaluated in closed
+/// form: every label `i` absent from `L` contributes 1, every present
+/// `j < label` contributes `num_leaves(T_j)`, and `j == label` contributes
+/// the `LocalLabel` query — `O(|L|)` instead of `Θ(label)` per view.
+pub fn retrieve_label_arena(
+    arena: &mut ViewArena,
+    id: ViewId,
+    e1: &Trie,
+    e2: &NestedList,
+    memo: &mut LabelMemo,
+) -> u64 {
+    if let Some(&label) = memo.get(&id) {
+        return label;
+    }
+    let d = arena.depth(id);
+    assert!(d >= 1, "RetrieveLabel requires a view of positive depth");
+    let label = if d == 1 {
+        local_label_arena(arena, id, &[], e1)
+    } else {
+        // Labels of the children (the depth-(d-1) views of the neighbors),
+        // in port order.
+        let children: Vec<ViewId> = arena.children(id).iter().map(|&(_, c)| c).collect();
+        let x: Vec<u64> = children
+            .iter()
+            .map(|&c| retrieve_label_arena(arena, c, e1, e2, memo))
+            .collect();
+        // Label of our own depth-(d-1) truncation.
+        let b_prime = arena.truncate_one(id);
+        let own = retrieve_label_arena(arena, b_prime, e1, e2, memo);
+        // L = the list attached to depth d in E2 (possibly absent => empty).
+        let l = e2
+            .iter()
+            .find(|(depth, _)| *depth == d as u64)
+            .map(|(_, list)| list.as_slice())
+            .unwrap_or(&[]);
+        let mut sum = own; // the `1` contributed by each i in 1..=own
+        let mut own_trie: Option<&Trie> = None;
+        // Like the tree oracle's `find`, only the *first* entry per label
+        // counts — decoded advice is not validated for distinct labels, and
+        // the two engines must agree even on malformed bit strings.
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (j, t) in l {
+            if *j > own || !seen.insert(*j) {
+                continue;
+            }
+            if *j < own {
+                sum += t.num_leaves() as u64 - 1;
+            } else {
+                own_trie = Some(t);
+            }
+        }
+        if let Some(t) = own_trie {
+            sum += local_label_arena(arena, id, &x, t) - 1;
+        }
+        sum
+    };
+    memo.insert(id, label);
+    label
+}
+
+/// `BuildTrie(S, E1, E2)` — Algorithm 4 — over arena views. Produces the
+/// same trie as [`build_trie`] on the materialized views of `s`: the splits,
+/// queries and recursion order are identical, with subview equality answered
+/// by id comparison and the canonical order by
+/// [`ViewArena::cmp_views`].
+pub fn build_trie_arena(
+    arena: &mut ViewArena,
+    s: &[ViewId],
+    e1: Option<&Trie>,
+    e2: &NestedList,
+    memo: &mut LabelMemo,
+) -> Trie {
+    // The bin(B^1) codes are fixed per view; computing them once up front
+    // spares every recursion level of the depth-1 branch a re-encode.
+    let mut bins: HashMap<ViewId, BitString> = HashMap::new();
+    if e1.is_none() {
+        for &id in s {
+            bins.entry(id).or_insert_with(|| bin_b1_arena(arena, id));
+        }
+    }
+    build_trie_arena_inner(arena, s, e1, e2, memo, &bins)
+}
+
+fn build_trie_arena_inner(
+    arena: &mut ViewArena,
+    s: &[ViewId],
+    e1: Option<&Trie>,
+    e2: &NestedList,
+    memo: &mut LabelMemo,
+    bin_cache: &HashMap<ViewId, BitString>,
+) -> Trie {
+    assert!(!s.is_empty(), "BuildTrie requires a non-empty set");
+    if s.len() == 1 {
+        return Trie::leaf();
+    }
+    let (val, s_prime, s_rest): ((u64, u64), Vec<ViewId>, Vec<ViewId>) = match e1 {
+        None => {
+            let bins: Vec<&BitString> = s.iter().map(|id| &bin_cache[id]).collect();
+            let max = bins.iter().map(|b| b.len()).max().unwrap();
+            let min = bins.iter().map(|b| b.len()).min().unwrap();
+            if min < max {
+                // Query (0, max): "is your representation shorter than max?"
+                let (short, rest) = partition_preserving_order(s, &bins, |b| b.len() < max);
+                ((0, max as u64), short, rest)
+            } else {
+                // All lengths equal: find the first differing (1-based) bit.
+                let j = (0..max)
+                    .find(|&i| {
+                        let first = bins[0].bit(i);
+                        bins.iter().any(|b| b.bit(i) != first)
+                    })
+                    .expect("distinct views must have differing representations")
+                    + 1;
+                let (zeros, ones) =
+                    partition_preserving_order(s, &bins, |b| !b.bit(j - 1).unwrap());
+                ((1, j as u64), zeros, ones)
+            }
+        }
+        Some(e1_trie) => {
+            let (index, b_disc) = discriminatory_index_and_subview_arena(arena, s);
+            let mut s_prime = Vec::new();
+            let mut s_rest = Vec::new();
+            for &v in s {
+                if arena.children(v)[index].1 != b_disc {
+                    s_prime.push(v);
+                } else {
+                    s_rest.push(v);
+                }
+            }
+            let label = retrieve_label_arena(arena, b_disc, e1_trie, e2, memo);
+            ((index as u64, label), s_prime, s_rest)
+        }
+    };
+    debug_assert!(!s_prime.is_empty() && !s_rest.is_empty());
+    Trie::internal(
+        val,
+        build_trie_arena_inner(arena, &s_prime, e1, e2, memo, bin_cache),
+        build_trie_arena_inner(arena, &s_rest, e1, e2, memo, bin_cache),
+    )
+}
+
+/// Splits `s` into (elements whose bin satisfies `pred`, the rest), keeping
+/// the relative order of `s` in both halves — the partition used by the
+/// depth-1 branch of `BuildTrie`.
+fn partition_preserving_order(
+    s: &[ViewId],
+    bins: &[&BitString],
+    pred: impl Fn(&BitString) -> bool,
+) -> (Vec<ViewId>, Vec<ViewId>) {
+    let mut yes = Vec::new();
+    let mut no = Vec::new();
+    for (&v, b) in s.iter().zip(bins) {
+        if pred(b) {
+            yes.push(v);
+        } else {
+            no.push(v);
+        }
+    }
+    (yes, no)
+}
+
+/// The discriminatory index and discriminatory subview (Section 3) of a set
+/// of at least two distinct arena views of depth `>= 2` — the arena
+/// counterpart of [`discriminatory_index_and_subview`].
+pub fn discriminatory_index_and_subview_arena(arena: &ViewArena, s: &[ViewId]) -> (usize, ViewId) {
+    assert!(s.len() >= 2);
+    assert!(
+        arena.depth(s[0]) >= 2,
+        "discriminatory index needs depth >= 2"
+    );
+    let mut sorted: Vec<ViewId> = s.to_vec();
+    sorted.sort_by(|&a, &b| arena.cmp_views(a, b));
+    let (a, b) = (sorted[0], sorted[1]);
+    let (ca, cb) = (arena.children(a), arena.children(b));
+    for i in 0..ca.len() {
+        if ca[i].1 != cb[i].1 {
+            let disc = if arena.cmp_views(ca[i].1, cb[i].1) == std::cmp::Ordering::Less {
+                ca[i].1
+            } else {
+                cb[i].1
+            };
+            return (i, disc);
+        }
+    }
+    panic!("views identical at depth l-1 but equal at depth l cannot both be in S");
+}
+
 /// Encodes the nested list `E2` as a bit string (`bin(E2)` of
 /// Proposition 3.4): the outer list is a `Concat` of alternating depth
 /// integers and encoded inner lists; each inner list is a `Concat` of
@@ -322,6 +586,112 @@ mod tests {
             // and differs from the corresponding child of the other.
             assert_ne!(s[0].children()[i].1, s[1].children()[i].1);
             assert!(disc == s[0].children()[i].1 || disc == s[1].children()[i].1);
+        }
+    }
+
+    #[test]
+    fn arena_trie_and_labels_match_tree_engine_at_depth_one() {
+        for g in [
+            generators::star(4),
+            generators::caterpillar(5),
+            generators::lollipop(4, 3),
+            generators::random_connected(20, 0.15, 2),
+        ] {
+            let views = AugmentedView::compute_all(&g, 1);
+            let mut distinct = views.clone();
+            distinct.sort();
+            distinct.dedup();
+            let oracle_trie = build_trie(&distinct, None, &Vec::new());
+
+            let mut arena = ViewArena::new();
+            let levels = arena.compute_levels(&g, 1);
+            let mut ids: Vec<ViewId> = levels[1].clone();
+            ids.sort_by(|&a, &b| arena.cmp_views(a, b));
+            ids.dedup();
+            let mut memo = LabelMemo::new();
+            let arena_trie = build_trie_arena(&mut arena, &ids, None, &Vec::new(), &mut memo);
+            assert_eq!(arena_trie, oracle_trie, "E1 tries must be identical");
+
+            for v in g.nodes() {
+                assert_eq!(
+                    local_label_arena(&arena, levels[1][v], &[], &arena_trie),
+                    local_label(&views[v], &[], &oracle_trie),
+                    "depth-1 label of node {v}"
+                );
+                assert_eq!(
+                    retrieve_label_arena(
+                        &mut arena,
+                        levels[1][v],
+                        &arena_trie,
+                        &Vec::new(),
+                        &mut memo
+                    ),
+                    retrieve_label(&views[v], &oracle_trie, &Vec::new())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_even_on_duplicate_e2_labels() {
+        // decode_e2 does not validate label distinctness, so a malformed
+        // advice string can decode to an L(i) with repeated labels. Both
+        // engines must then still produce the same node labels (only the
+        // first entry per label may count).
+        let g = generators::caterpillar(4); // φ = 2: non-empty E2
+        let advice = crate::advice_build::compute_advice(&g).unwrap();
+        let mut e2 = advice.e2.clone();
+        let list = e2
+            .iter_mut()
+            .find(|(_, l)| !l.is_empty())
+            .map(|(_, l)| l)
+            .expect("caterpillar(4) has a non-trivial E2 entry");
+        // Duplicate the first entry with a *different* trie shape so a
+        // double-count would be visible in the label sums.
+        let dup_label = list[0].0;
+        list.push((
+            dup_label,
+            Trie::internal((0, 1), Trie::leaf(), Trie::leaf()),
+        ));
+
+        let views = AugmentedView::compute_all(&g, advice.phi);
+        let mut arena = ViewArena::new();
+        let levels = arena.compute_levels(&g, advice.phi);
+        let mut memo = LabelMemo::new();
+        for v in g.nodes() {
+            assert_eq!(
+                retrieve_label_arena(
+                    &mut arena,
+                    levels[advice.phi][v],
+                    &advice.e1,
+                    &e2,
+                    &mut memo
+                ),
+                retrieve_label(&views[v], &advice.e1, &e2),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_discriminatory_index_matches_tree_engine() {
+        let g = generators::lollipop(4, 4);
+        let views2 = AugmentedView::compute_all(&g, 2);
+        let views1 = AugmentedView::compute_all(&g, 1);
+        let mut arena = ViewArena::new();
+        let levels = arena.compute_levels(&g, 2);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v && views1[u] == views1[v] && views2[u] != views2[v] {
+                    let s_tree = vec![views2[u].clone(), views2[v].clone()];
+                    let (i_tree, disc_tree) = discriminatory_index_and_subview(&s_tree);
+                    let s_arena = vec![levels[2][u], levels[2][v]];
+                    let (i_arena, disc_arena) =
+                        discriminatory_index_and_subview_arena(&arena, &s_arena);
+                    assert_eq!(i_arena, i_tree);
+                    assert_eq!(arena.materialize(disc_arena), disc_tree);
+                }
+            }
         }
     }
 

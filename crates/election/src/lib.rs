@@ -17,6 +17,13 @@
 //!   itself with `RetrieveLabel`, and outputs the tree path to the root.
 //!   [`elect_all`] runs the whole pipeline and verifies the outcome.
 //!
+//! Both sides of the Section 3 pipeline run on the hash-consed view arena
+//! of `anet_views` (`ViewId` records instead of `Δ^depth`-node trees), which
+//! scales them to the 10k-node benchmark sweep; the materialized-tree
+//! implementations ([`advice_build::compute_advice_reference`],
+//! [`elect::elect_output`], the tree-based [`labels`] functions) are kept as
+//! correctness oracles for property tests.
+//!
 //! ## Election in large time (Section 4)
 //!
 //! * [`generic`] — Algorithm `Generic(x)` (Algorithm 7): election in time at
@@ -49,10 +56,10 @@ pub mod milestones;
 pub mod remark;
 pub mod verify;
 
-pub use advice_build::{compute_advice, Advice};
-pub use elect::{elect_all, ElectionOutcome};
+pub use advice_build::{compute_advice, compute_advice_with, Advice};
+pub use elect::{elect_all, elect_all_with, simulate_election, ElectionOutcome, Simulation};
 pub use error::ElectionError;
-pub use generic::{generic_elect_all, GenericOutcome};
-pub use milestones::{election_milestone, Milestone, MilestoneOutcome};
-pub use remark::{remark_elect_all, RemarkOutcome};
+pub use generic::{generic_elect_all, generic_elect_all_with, GenericOutcome};
+pub use milestones::{election_milestone, election_milestone_with, Milestone, MilestoneOutcome};
+pub use remark::{remark_elect_all, remark_elect_all_with, RemarkOutcome};
 pub use verify::verify_election;

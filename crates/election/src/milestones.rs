@@ -17,10 +17,11 @@
 
 use anet_advice::BitString;
 use anet_graph::{algo, Graph};
-use anet_views::election_index;
+use anet_views::election_index::analyze_with;
+use anet_views::RefineOptions;
 
 use crate::error::ElectionError;
-use crate::generic::{generic_elect_all, GenericOutcome};
+use crate::generic::{generic_elect_all_with, GenericOutcome};
 
 /// The four time/advice milestones of Theorem 4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -179,8 +180,21 @@ pub fn election_milestone(
     milestone: Milestone,
     c: usize,
 ) -> Result<MilestoneOutcome, ElectionError> {
+    election_milestone_with(g, milestone, c, &RefineOptions::default())
+}
+
+/// [`election_milestone`] with explicit refinement-engine options for the
+/// underlying `Generic(P_i)` run.
+pub fn election_milestone_with(
+    g: &Graph,
+    milestone: Milestone,
+    c: usize,
+    opts: &RefineOptions,
+) -> Result<MilestoneOutcome, ElectionError> {
     assert!(c > 1, "the paper requires an integer constant c > 1");
-    let phi = election_index(g).ok_or(ElectionError::Infeasible)?;
+    let phi = analyze_with(g, opts)
+        .election_index
+        .ok_or(ElectionError::Infeasible)?;
     let d = algo::diameter(g);
     let advice = milestone_advice(milestone, phi as u64);
     let parameter = milestone_parameter(milestone, &advice)?;
@@ -188,7 +202,7 @@ pub fn election_milestone(
         parameter >= phi as u64,
         "the reconstructed parameter must dominate φ"
     );
-    let generic = generic_elect_all(g, parameter as usize)?;
+    let generic = generic_elect_all_with(g, parameter as usize, opts)?;
     let time_bound = milestone_time_bound(milestone, d, phi, c);
     Ok(MilestoneOutcome {
         milestone,
@@ -203,6 +217,7 @@ pub fn election_milestone(
 mod tests {
     use super::*;
     use anet_graph::generators;
+    use anet_views::election_index;
 
     #[test]
     fn floor_log2_values() {

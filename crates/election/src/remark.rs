@@ -17,7 +17,7 @@
 
 use anet_advice::{codec, BitString};
 use anet_graph::{algo, Graph, NodeId, PortPath};
-use anet_views::{election_index, walks, ViewClasses};
+use anet_views::{walks, RefineOptions, ViewClasses};
 
 use crate::error::ElectionError;
 use crate::generic::lex_smallest_shortest_path;
@@ -45,7 +45,15 @@ impl RemarkOutcome {
 
 /// The oracle side: the advice `Concat(bin(D), bin(φ))`.
 pub fn remark_advice(g: &Graph) -> Result<BitString, ElectionError> {
-    let phi = election_index(g).ok_or(ElectionError::Infeasible)?;
+    remark_advice_with(g, &RefineOptions::default())
+}
+
+/// [`remark_advice`] with explicit refinement-engine options for the φ
+/// computation.
+pub fn remark_advice_with(g: &Graph, opts: &RefineOptions) -> Result<BitString, ElectionError> {
+    let phi = anet_views::election_index::analyze_with(g, opts)
+        .election_index
+        .ok_or(ElectionError::Infeasible)?;
     let d = algo::diameter(g);
     Ok(codec::concat(&[
         BitString::from_uint(d as u64),
@@ -73,10 +81,32 @@ pub fn decode_remark_advice(bits: &BitString) -> Result<(usize, usize), Election
 }
 
 /// Runs the `D + φ` election on every node of `g` and verifies the outcome.
+///
+/// ```
+/// use anet_election::remark::remark_elect_all;
+/// use anet_graph::{algo, generators};
+/// use anet_views::election_index;
+///
+/// let g = generators::lollipop(5, 4);
+/// let outcome = remark_elect_all(&g).unwrap();
+/// // Exactly D + φ rounds, with only O(log D + log φ) advice bits.
+/// let bound = algo::diameter(&g) + election_index(&g).unwrap();
+/// assert_eq!(outcome.time, bound);
+/// assert!(outcome.advice_bits() < 40);
+/// ```
 pub fn remark_elect_all(g: &Graph) -> Result<RemarkOutcome, ElectionError> {
-    let advice = remark_advice(g)?;
+    remark_elect_all_with(g, &RefineOptions::default())
+}
+
+/// [`remark_elect_all`] with explicit refinement-engine options for the
+/// view-quotient computation.
+pub fn remark_elect_all_with(
+    g: &Graph,
+    opts: &RefineOptions,
+) -> Result<RemarkOutcome, ElectionError> {
+    let advice = remark_advice_with(g, opts)?;
     let (d, phi) = decode_remark_advice(&advice)?;
-    let classes = ViewClasses::compute(g, phi);
+    let classes = ViewClasses::compute_with(g, phi, opts);
     let time = d + phi;
 
     let mut outputs = Vec::with_capacity(g.num_nodes());
@@ -104,6 +134,7 @@ pub fn remark_elect_all(g: &Graph) -> Result<RemarkOutcome, ElectionError> {
 mod tests {
     use super::*;
     use anet_graph::generators;
+    use anet_views::election_index;
 
     fn samples() -> Vec<Graph> {
         vec![

@@ -7,10 +7,10 @@
 //! * [`cliques_f`] — the family `F(x)` of `(x+1)`-node cliques obtained by
 //!   per-node cyclic port shifts (the building block of both Section 3 lower
 //!   bounds),
-//! * [`ring_of_cliques`] — the graphs `H_k` and the family `G_k` of
+//! * [`mod@ring_of_cliques`] — the graphs `H_k` and the family `G_k` of
 //!   Theorem 3.2 (Fig. 1): a `k`-ring with a distinct `F(x)` clique attached
 //!   to every ring node; election index 1, advice `Ω(n log log n)`,
-//! * [`necklace`] — the `k`-necklaces `M_k` / `N_k` of Theorem 3.3 (Fig. 2):
+//! * [`mod@necklace`] — the `k`-necklaces `M_k` / `N_k` of Theorem 3.3 (Fig. 2):
 //!   joints, diamonds, emeralds and two pendant chains; election index
 //!   exactly `φ`, advice `Ω(n (log log n)² / log n)`,
 //! * [`locks`] — the `z`-locks of Fig. 3 and the first family `S_0`/`T_0` of
@@ -18,7 +18,7 @@
 //! * [`pruned`] — pruned views `PV_G(u, P, l)` realized as graph gadgets and
 //!   the lock transformation `T(L)` used by the merge operation of
 //!   Theorem 4.2,
-//! * [`hairy_ring`] — the hairy rings, cuts and γ-stretches of
+//! * [`mod@hairy_ring`] — the hairy rings, cuts and γ-stretches of
 //!   Proposition 4.1 (Fig. 9), showing that constant advice never suffices.
 //!
 //! Each generator returns ordinary [`anet_graph::Graph`] values, so the

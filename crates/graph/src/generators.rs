@@ -2,7 +2,7 @@
 //!
 //! Port numbering conventions follow the paper where it specifies them (e.g.
 //! rings with ports 0/1 in clockwise order); otherwise the smallest-unused
-//! rule of [`GraphBuilder`](crate::GraphBuilder) applies.
+//! rule of [`crate::GraphBuilder`] applies.
 
 use std::collections::HashSet;
 

@@ -25,7 +25,7 @@
 //!
 //! Node identifiers ([`NodeId`]) exist only *inside the simulation harness*:
 //! they are never available to the distributed algorithms themselves, which
-//! only ever see views ([`anet-views`]) and port numbers.
+//! only ever see views (`anet-views`) and port numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

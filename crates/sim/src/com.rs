@@ -14,47 +14,245 @@
 //! the statement "the knowledge of a node after `r` rounds is `B^r(v)`"
 //! executable, and it is the communication layer of the minimum-time election
 //! algorithm.
+//!
+//! ## Representation: hash-consed views
+//!
+//! A materialized view tree grows like `Δ^depth`, so shipping explicit
+//! [`AugmentedView`]s caps the exchange at toy graphs. [`ComNode`] instead
+//! exchanges [`ViewId`]s against a [`ViewArena`] shared by all nodes of one
+//! run: a message is two words (`sender_port` + the id of the sender's
+//! current view), and assembling `B^{i+1}` interns one `O(Δ)`-word record.
+//! Per round the whole network therefore moves `O(m)` words and performs
+//! `O(m)` amortized work, instead of `O(m · Δ^round)` — which is what lets
+//! the election pipeline run on the 10k-node benchmark graphs.
+//!
+//! The shared arena is a *simulation device*, not an information channel: a
+//! node only ever dereferences ids it received on its ports or interned
+//! itself, so the knowledge available to the algorithm is still exactly
+//! `B^r(v)`. The original tree-shipping implementation survives as
+//! [`TreeComNode`] / [`exchange_views_tree`] and is the correctness oracle
+//! the property tests compare against.
+//!
+//! Note that [`ComNode::receive`](crate::runner::NodeAlgorithm::receive)
+//! interns under the shared arena's mutex, so running `ComNode` through the
+//! multi-threaded `ParallelRunner` serializes the receive phase — it stays
+//! correct (the transcript-equality tests cover it) but buys no speedup.
+//! The `O(m)`-per-round arena exchange is fast enough sequentially that the
+//! election pipeline simply uses [`SyncRunner`].
+//!
+//! ```
+//! use anet_graph::generators;
+//! use anet_sim::com::{exchange_view_ids, exchange_views_tree};
+//!
+//! let g = generators::lollipop(4, 3);
+//! let (arena, ids) = exchange_view_ids(&g, 2);
+//! // The ids deposited by the message-passing run materialize to exactly
+//! // the views the tree-shipping oracle acquires.
+//! let oracle = exchange_views_tree(&g, 2);
+//! for v in g.nodes() {
+//!     assert_eq!(arena.materialize(ids[v]), oracle[v]);
+//! }
+//! ```
+
+use std::sync::Arc;
 
 use anet_graph::{Graph, PortPath};
-use anet_views::AugmentedView;
+use anet_views::{AugmentedView, ViewArena, ViewId};
+use parking_lot::Mutex;
 
 use crate::runner::{NodeAlgorithm, SyncRunner};
 
-/// The message exchanged by `COM`: the sender's current view together with
-/// the sender-side port number of the edge it is sent on. The sender-side
-/// port is part of what a neighbor learns in the paper's model (it appears as
-/// the reverse port in the receiver's next view).
-#[derive(Debug, Clone)]
+/// The view arena shared by all node instances of one `COM` run.
+pub type SharedViewArena = Arc<Mutex<ViewArena>>;
+
+/// The message exchanged by `COM`: the sender's current view (as an arena
+/// id) together with the sender-side port number of the edge it is sent on.
+/// The sender-side port is part of what a neighbor learns in the paper's
+/// model (it appears as the reverse port in the receiver's next view).
+#[derive(Debug, Clone, Copy)]
 pub struct ViewMessage {
     /// The port number at the *sender* of the edge this message travels on.
     pub sender_port: usize,
-    /// The sender's current augmented truncated view `B^i`.
-    pub view: AugmentedView,
+    /// The sender's current augmented truncated view `B^i`, interned.
+    pub view: ViewId,
 }
 
 /// A node algorithm that runs `COM(0), ..., COM(target_depth - 1)` and then
-/// halts, handing its accumulated view `B^target_depth(u)` to a continuation
-/// that produces the election output.
+/// halts, handing its accumulated view `B^target_depth(u)` — as an id into
+/// the run's shared arena — to a continuation that produces the election
+/// output.
 pub struct ComNode<F>
 where
-    F: FnMut(&AugmentedView) -> PortPath,
+    F: FnMut(&mut ViewArena, ViewId) -> PortPath,
 {
+    arena: SharedViewArena,
     degree: usize,
     target_depth: usize,
     /// The current view `B^i(u)`; `B^0(u)` right after `init`.
-    current: Option<AugmentedView>,
+    current: Option<ViewId>,
     /// What to do with `B^target_depth(u)` once acquired.
     finish: F,
 }
 
 impl<F> ComNode<F>
 where
+    F: FnMut(&mut ViewArena, ViewId) -> PortPath,
+{
+    /// Creates a node that exchanges views for `target_depth` rounds through
+    /// the shared `arena` and then outputs `finish(arena, B^target_depth(u))`.
+    pub fn new(arena: SharedViewArena, target_depth: usize, finish: F) -> Self {
+        ComNode {
+            arena,
+            degree: 0,
+            target_depth,
+            current: None,
+            finish,
+        }
+    }
+
+    /// The view the node currently holds (for inspection in tests).
+    pub fn current_view(&self) -> Option<ViewId> {
+        self.current
+    }
+}
+
+impl<F> NodeAlgorithm for ComNode<F>
+where
+    F: FnMut(&mut ViewArena, ViewId) -> PortPath,
+{
+    type Message = ViewMessage;
+
+    fn init(&mut self, degree: usize) {
+        self.degree = degree;
+        // B^0(u): a single node labeled by the degree.
+        self.current = Some(self.arena.lock().intern_leaf(degree));
+    }
+
+    fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
+        let view = self.current.expect("initialized");
+        (0..self.degree)
+            .map(|p| {
+                Some(ViewMessage {
+                    sender_port: p,
+                    view,
+                })
+            })
+            .collect()
+    }
+
+    fn receive(&mut self, round: usize, incoming: Vec<Option<ViewMessage>>) -> Option<PortPath> {
+        let mut arena = self.arena.lock();
+        if self.target_depth == 0 {
+            // No communication needed: B^0 is known locally.
+            let view = self.current.expect("initialized");
+            return Some((self.finish)(&mut arena, view));
+        }
+        // Assemble B^{round+1}(u) from the B^{round}(neighbor)s received in
+        // port order; the child on port p records the neighbor's port of the
+        // connecting edge (the sender_port of the message that arrived on p).
+        let children: Vec<(usize, ViewId)> = incoming
+            .into_iter()
+            .map(|m| {
+                let m = m.expect("every neighbor sends in every COM round");
+                (m.sender_port, m.view)
+            })
+            .collect();
+        let assembled = arena.intern(self.degree, children);
+        self.current = Some(assembled);
+        if round + 1 == self.target_depth {
+            Some((self.finish)(&mut arena, assembled))
+        } else {
+            None
+        }
+    }
+
+    /// An arena message is two words: the sender port and the view id.
+    fn message_size_words(_msg: &ViewMessage) -> usize {
+        2
+    }
+}
+
+/// Runs the `COM` exchange for `depth` rounds on every node of `g` through
+/// the message-passing engine and returns the run's arena together with the
+/// acquired `B^depth(v)` id per node.
+///
+/// This is the executable counterpart of "after `t` repetitions of `COM`,
+/// every node has its augmented truncated view at depth `t`"; tests compare
+/// the materialized result with [`AugmentedView::compute_all`] and with the
+/// tree-shipping oracle [`exchange_views_tree`].
+pub fn exchange_view_ids(g: &Graph, depth: usize) -> (ViewArena, Vec<ViewId>) {
+    let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+    let collected: Arc<Mutex<Vec<Option<ViewId>>>> =
+        Arc::new(Mutex::new(vec![None; g.num_nodes()]));
+    let runner = SyncRunner::new(g, depth + 1);
+    let outcome = runner.run_indexed(|slot, _degree| {
+        let collected = Arc::clone(&collected);
+        ComNode::new(Arc::clone(&arena), depth, move |_arena, view| {
+            collected.lock()[slot] = Some(view);
+            PortPath::empty()
+        })
+    });
+    assert!(outcome.all_halted(), "COM exchange must terminate");
+    let ids: Vec<ViewId> = collected
+        .lock()
+        .iter()
+        .map(|v| v.expect("every node stored its view"))
+        .collect();
+    let arena = Arc::try_unwrap(arena)
+        .expect("all node instances dropped with the runner")
+        .into_inner();
+    (arena, ids)
+}
+
+/// [`exchange_view_ids`] with the per-node views materialized as explicit
+/// trees (exponential in `depth`; for tests and small graphs).
+pub fn exchange_views(g: &Graph, depth: usize) -> Vec<AugmentedView> {
+    let (arena, ids) = exchange_view_ids(g, depth);
+    ids.into_iter().map(|id| arena.materialize(id)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The materialized-tree oracle.
+// ---------------------------------------------------------------------------
+
+/// The tree-shipping `COM` message: the sender's current view as an explicit
+/// [`AugmentedView`] tree. Exactly Algorithm 1 read literally — every
+/// message carries the whole `Δ^i`-node tree — which is why this variant is
+/// the *oracle*, not the workhorse.
+#[derive(Debug, Clone)]
+pub struct TreeViewMessage {
+    /// The port number at the *sender* of the edge this message travels on.
+    pub sender_port: usize,
+    /// The sender's current augmented truncated view `B^i`, materialized.
+    pub view: AugmentedView,
+}
+
+/// The original materialized-tree implementation of the `COM` node: it
+/// clones its full current view onto every port each round and assembles the
+/// received trees with [`AugmentedView::from_parts`]. Kept as the
+/// correctness oracle for the arena-based [`ComNode`] (property tests assert
+/// both acquire identical views) and as the executable measure of what the
+/// exchange would cost without hash-consing (its
+/// [`message_size_words`](NodeAlgorithm::message_size_words) reports the full
+/// tree size).
+pub struct TreeComNode<F>
+where
     F: FnMut(&AugmentedView) -> PortPath,
 {
-    /// Creates a node that exchanges views for `target_depth` rounds and then
-    /// outputs `finish(B^target_depth(u))`.
+    degree: usize,
+    target_depth: usize,
+    current: Option<AugmentedView>,
+    finish: F,
+}
+
+impl<F> TreeComNode<F>
+where
+    F: FnMut(&AugmentedView) -> PortPath,
+{
+    /// Creates a node that exchanges materialized views for `target_depth`
+    /// rounds and then outputs `finish(B^target_depth(u))`.
     pub fn new(target_depth: usize, finish: F) -> Self {
-        ComNode {
+        TreeComNode {
             degree: 0,
             target_depth,
             current: None,
@@ -68,23 +266,22 @@ where
     }
 }
 
-impl<F> NodeAlgorithm for ComNode<F>
+impl<F> NodeAlgorithm for TreeComNode<F>
 where
     F: FnMut(&AugmentedView) -> PortPath,
 {
-    type Message = ViewMessage;
+    type Message = TreeViewMessage;
 
     fn init(&mut self, degree: usize) {
         self.degree = degree;
-        // B^0(u): a single node labeled by the degree.
         self.current = Some(AugmentedView::from_parts(degree, Vec::new()));
     }
 
-    fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
+    fn send(&mut self, _round: usize) -> Vec<Option<TreeViewMessage>> {
         let view = self.current.clone().expect("initialized");
         (0..self.degree)
             .map(|p| {
-                Some(ViewMessage {
+                Some(TreeViewMessage {
                     sender_port: p,
                     view: view.clone(),
                 })
@@ -92,15 +289,15 @@ where
             .collect()
     }
 
-    fn receive(&mut self, round: usize, incoming: Vec<Option<ViewMessage>>) -> Option<PortPath> {
+    fn receive(
+        &mut self,
+        round: usize,
+        incoming: Vec<Option<TreeViewMessage>>,
+    ) -> Option<PortPath> {
         if self.target_depth == 0 {
-            // No communication needed: B^0 is known locally.
             let view = self.current.as_ref().expect("initialized");
             return Some((self.finish)(view));
         }
-        // Assemble B^{round+1}(u) from the B^{round}(neighbor)s received in
-        // port order; the child on port p records the neighbor's port of the
-        // connecting edge (the sender_port of the message that arrived on p).
         let children: Vec<(usize, AugmentedView)> = incoming
             .into_iter()
             .map(|m| {
@@ -116,35 +313,22 @@ where
             None
         }
     }
+
+    /// A tree message costs its full tree size plus the sender port.
+    fn message_size_words(msg: &TreeViewMessage) -> usize {
+        msg.view.size() + 1
+    }
 }
 
-/// Runs the `COM` exchange for `depth` rounds on every node of `g` through
-/// the message-passing engine and returns the acquired `B^depth(v)` per node.
-///
-/// This is the executable counterpart of "after `t` repetitions of `COM`,
-/// every node has its augmented truncated view at depth `t`"; tests compare
-/// the result with the centrally computed views of
-/// [`AugmentedView::compute_all`].
-pub fn exchange_views(g: &Graph, depth: usize) -> Vec<AugmentedView> {
-    use parking_lot::Mutex;
-    use std::sync::Arc;
-
+/// Runs the materialized-tree `COM` oracle for `depth` rounds and returns
+/// the acquired `B^depth(v)` per node (exponential in `depth`).
+pub fn exchange_views_tree(g: &Graph, depth: usize) -> Vec<AugmentedView> {
     let collected: Arc<Mutex<Vec<Option<AugmentedView>>>> =
         Arc::new(Mutex::new(vec![None; g.num_nodes()]));
-    // The runner creates node instances in node-id order, so the factory can
-    // hand each instance the slot to deposit its final view into. The slot
-    // index is harness bookkeeping, not information available to the node.
-    let next_slot = Arc::new(Mutex::new(0usize));
     let runner = SyncRunner::new(g, depth + 1);
-    let outcome = runner.run(|_degree| {
-        let slot = {
-            let mut s = next_slot.lock();
-            let v = *s;
-            *s += 1;
-            v
-        };
+    let outcome = runner.run_indexed(|slot, _degree| {
         let collected = Arc::clone(&collected);
-        ComNode::new(depth, move |view: &AugmentedView| {
+        TreeComNode::new(depth, move |view: &AugmentedView| {
             collected.lock()[slot] = Some(view.clone());
             PortPath::empty()
         })
@@ -180,30 +364,70 @@ mod tests {
     }
 
     #[test]
+    fn arena_exchange_matches_tree_oracle() {
+        let graphs = [
+            generators::torus(3, 3),
+            generators::lollipop(4, 3),
+            generators::random_connected(14, 0.2, 9),
+        ];
+        for g in &graphs {
+            for depth in 0..3 {
+                assert_eq!(
+                    exchange_views(g, depth),
+                    exchange_views_tree(g, depth),
+                    "depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn exchange_views_depth_equals_rounds_used() {
         let g = generators::ring(6);
         let runner = SyncRunner::new(&g, 10);
-        let outcome = runner.run(|_| ComNode::new(3, |_v| PortPath::empty()));
+        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let outcome =
+            runner.run(|_| ComNode::new(Arc::clone(&arena), 3, |_arena, _v| PortPath::empty()));
         assert!(outcome.all_halted());
         assert_eq!(outcome.election_time(), Some(3));
     }
 
     #[test]
+    fn arena_messages_are_constant_size_while_tree_messages_grow() {
+        let g = generators::clique(5);
+        let depth = 3;
+        let runner = SyncRunner::new(&g, depth + 1);
+        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let flat =
+            runner.run(|_| ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty()));
+        let tree = runner.run(|_| TreeComNode::new(depth, |_v| PortPath::empty()));
+        assert_eq!(flat.stats.messages, tree.stats.messages);
+        // Arena messages: exactly 2 words each.
+        assert_eq!(flat.stats.message_words, 2 * flat.stats.messages);
+        // Tree messages: the last round alone ships Δ^depth-sized trees
+        // (1 + 4 + 4·4 = 21 tree nodes per message on the 5-clique at
+        // depth 2), so the total volume dwarfs the arena's 2 words/message.
+        assert!(tree.stats.message_words > 4 * flat.stats.message_words);
+    }
+
+    #[test]
     fn depth_zero_requires_no_information_from_neighbors() {
         let g = generators::clique(4);
-        let views = exchange_views(&g, 0);
-        for v in &views {
-            assert_eq!(v.depth(), 0);
-            assert_eq!(v.degree(), 3);
+        let (arena, ids) = exchange_view_ids(&g, 0);
+        for &id in &ids {
+            assert_eq!(arena.depth(id), 0);
+            assert_eq!(arena.degree(id), 3);
         }
+        // All depth-0 views of a clique coincide: one arena record.
+        assert_eq!(arena.len(), 1);
     }
 
     #[test]
     fn assembled_views_deepen_by_one_each_round() {
         let g = generators::torus(3, 3);
         for depth in 1..4 {
-            let views = exchange_views(&g, depth);
-            assert!(views.iter().all(|v| v.depth() == depth));
+            let (arena, ids) = exchange_view_ids(&g, depth);
+            assert!(ids.iter().all(|&id| arena.depth(id) == depth));
         }
     }
 

@@ -22,7 +22,10 @@
 //!   repeatedly exchange their augmented truncated views, so that after `t`
 //!   rounds every node holds `B^t(v)`; this is both a building block of the
 //!   election algorithms and the executable witness of the "knowledge after
-//!   `r` rounds = `B^r(v)`" claim.
+//!   `r` rounds = `B^r(v)`" claim. The workhorse [`ComNode`] exchanges
+//!   hash-consed view ids against a shared [`anet_views::ViewArena`]
+//!   (`O(m)` words per round); the literal tree-shipping reading of
+//!   Algorithm 1 survives as [`com::TreeComNode`], the correctness oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +34,5 @@ pub mod com;
 pub mod parallel;
 pub mod runner;
 
-pub use com::{exchange_views, ComNode};
+pub use com::{exchange_view_ids, exchange_views, ComNode, SharedViewArena, ViewMessage};
 pub use runner::{NodeAlgorithm, RunOutcome, RunStats, SyncRunner};

@@ -95,6 +95,7 @@ impl<'g> ParallelRunner<'g> {
                         if let Some(msg) = msg {
                             let (u, q) = g.neighbor(v, p);
                             stats.messages += 1;
+                            stats.message_words += A::message_size_words(&msg);
                             incoming[u][q] = Some(msg);
                         }
                     }
@@ -148,10 +149,12 @@ impl<'g> ParallelRunner<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::com::ComNode;
+    use crate::com::{ComNode, SharedViewArena};
     use crate::runner::SyncRunner;
     use anet_graph::generators;
-    use anet_views::AugmentedView;
+    use anet_views::{AugmentedView, ViewArena, ViewId};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
 
     #[test]
     fn parallel_matches_sequential_on_com_exchange() {
@@ -162,9 +165,12 @@ mod tests {
         ];
         for g in &graphs {
             for threads in [1, 2, 4] {
-                let seq = SyncRunner::new(g, 10).run(|_| ComNode::new(2, |_v| PortPath::empty()));
+                let arena_seq: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+                let seq = SyncRunner::new(g, 10)
+                    .run(|_| ComNode::new(Arc::clone(&arena_seq), 2, |_a, _v| PortPath::empty()));
+                let arena_par: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
                 let par = ParallelRunner::new(g, 10, threads)
-                    .run(|_| ComNode::new(2, |_v| PortPath::empty()));
+                    .run(|_| ComNode::new(Arc::clone(&arena_par), 2, |_a, _v| PortPath::empty()));
                 assert_eq!(seq.halt_round, par.halt_round);
                 assert_eq!(seq.outputs, par.outputs);
                 assert_eq!(seq.stats, par.stats);
@@ -174,12 +180,10 @@ mod tests {
 
     #[test]
     fn parallel_exchange_views_match_central_computation() {
-        use parking_lot::Mutex;
-        use std::sync::Arc;
-
         let g = generators::random_connected(40, 0.08, 5);
         let depth = 2;
-        let collected: Arc<Mutex<Vec<Option<AugmentedView>>>> =
+        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let collected: Arc<Mutex<Vec<Option<ViewId>>>> =
             Arc::new(Mutex::new(vec![None; g.num_nodes()]));
         let next_slot = Arc::new(Mutex::new(0usize));
         let runner = ParallelRunner::new(&g, depth + 1, 4);
@@ -191,24 +195,26 @@ mod tests {
                 v
             };
             let collected = Arc::clone(&collected);
-            ComNode::new(depth, move |view: &AugmentedView| {
-                collected.lock()[slot] = Some(view.clone());
+            ComNode::new(Arc::clone(&arena), depth, move |_arena, view| {
+                collected.lock()[slot] = Some(view);
                 PortPath::empty()
             })
         });
         assert!(outcome.all_halted());
         let central = AugmentedView::compute_all(&g, depth);
-        let views = collected.lock();
+        let arena = arena.lock();
+        let ids = collected.lock();
         for v in g.nodes() {
-            assert_eq!(views[v].as_ref(), Some(&central[v]));
+            assert_eq!(arena.materialize(ids[v].unwrap()), central[v]);
         }
     }
 
     #[test]
     fn more_threads_than_nodes_is_fine() {
         let g = generators::path(3);
-        let outcome =
-            ParallelRunner::new(&g, 5, 16).run(|_| ComNode::new(1, |_v| PortPath::empty()));
+        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let outcome = ParallelRunner::new(&g, 5, 16)
+            .run(|_| ComNode::new(Arc::clone(&arena), 1, |_a, _v| PortPath::empty()));
         assert!(outcome.all_halted());
     }
 }

@@ -26,6 +26,16 @@ pub trait NodeAlgorithm {
     /// connecting edge). Returning `Some(path)` halts the node with that
     /// election output; after halting the node is no longer scheduled.
     fn receive(&mut self, round: usize, incoming: Vec<Option<Self::Message>>) -> Option<PortPath>;
+
+    /// The size of a message in machine words, accumulated into
+    /// [`RunStats::message_words`] for every delivered message. The default
+    /// of 1 suits plain scalar messages; algorithms exchanging structured
+    /// payloads override it so runs report their true communication volume
+    /// (e.g. the tree-based `COM` oracle reports the full view-tree size,
+    /// the arena-based `COM` a constant 2).
+    fn message_size_words(_msg: &Self::Message) -> usize {
+        1
+    }
 }
 
 /// Aggregate statistics of a run.
@@ -36,6 +46,9 @@ pub struct RunStats {
     pub rounds: usize,
     /// Total number of messages delivered over all rounds.
     pub messages: usize,
+    /// Total payload volume of delivered messages, in machine words, as
+    /// reported by [`NodeAlgorithm::message_size_words`].
+    pub message_words: usize,
 }
 
 /// The outcome of a run: per-node outputs, halting rounds, and statistics.
@@ -96,6 +109,25 @@ impl<'g> SyncRunner<'g> {
         self.graph
     }
 
+    /// Like [`run`](Self::run), but additionally hands the factory a dense
+    /// slot index (instances are created in node-id order), so callers that
+    /// collect per-node results into a shared vector do not each need an
+    /// external counter. The slot index is harness bookkeeping for
+    /// depositing outputs — it is *not* information available to the node
+    /// algorithm, which still only sees its degree.
+    pub fn run_indexed<A, F>(&self, mut factory: F) -> RunOutcome
+    where
+        A: NodeAlgorithm,
+        F: FnMut(usize, usize) -> A,
+    {
+        let mut slot = 0usize;
+        self.run(|degree| {
+            let node = factory(slot, degree);
+            slot += 1;
+            node
+        })
+    }
+
     /// Runs one node algorithm instance per node, created by `factory`
     /// (which receives the node's degree, *not* its identity), until every
     /// node halts or `max_rounds` is reached.
@@ -144,6 +176,7 @@ impl<'g> SyncRunner<'g> {
                 for (p, u, q) in g.ports(v) {
                     if let Some(msg) = out[p].take() {
                         stats.messages += 1;
+                        stats.message_words += A::message_size_words(&msg);
                         incoming[u][q] = Some(msg);
                     }
                 }

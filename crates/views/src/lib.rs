@@ -8,6 +8,11 @@
 //!   node at depth `l` whose leaves are labeled by their degrees in the graph.
 //!   In the LOCAL model this is exactly the knowledge a node has after `l`
 //!   rounds.
+//! * [`ViewArena`] / [`ViewId`] — the hash-consed working representation of
+//!   views: each distinct subtree is interned once and identified by a dense
+//!   id, making structural equality `O(1)` and a whole view record `O(Δ)`
+//!   words. The simulator's `COM` exchange and the advice machinery operate
+//!   on arena ids; the explicit trees remain the correctness oracle.
 //! * [`ViewClasses`] — a partition-refinement table that computes, for every
 //!   depth `d`, the equivalence classes of nodes under `B^d(·)` equality
 //!   *without* materializing the (potentially exponential-size) view trees.
@@ -19,7 +24,7 @@
 //!   depths, counting/radix sorts for the ranking, and an opt-in
 //!   `std::thread::scope` parallel key-fill ([`RefineOptions`]). Scales the
 //!   refinement to graphs with tens of thousands of nodes.
-//! * [`election_index`] — the election index `φ(G)`: the smallest `l` such
+//! * [`election_index()`] — the election index `φ(G)`: the smallest `l` such
 //!   that the augmented truncated views at depth `l` of all nodes are
 //!   distinct (Proposition 2.1), or `None` when the graph is infeasible.
 //! * [`walks`] — walk-reachability sets (`reach_exact`, `reach_within`): the
@@ -39,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod classes;
 pub mod election_index;
 pub mod refine;
 pub mod view;
 pub mod walks;
 
+pub use arena::{ViewArena, ViewId};
 pub use classes::ViewClasses;
 pub use election_index::{election_index, election_index_naive, is_feasible, FeasibilityReport};
 pub use refine::{RefineOptions, Refiner};

@@ -101,6 +101,62 @@ fn exchanged_views_on_families_match_central_computation() {
 }
 
 #[test]
+fn elect_all_completes_on_the_smallest_large_graphs_tier() {
+    // The ~1000-node tier of the benchmark sweep (ring of cliques, necklace,
+    // sparse random), end to end through the arena-based pipeline: advice,
+    // simulated COM exchange, labeling, verification — all in test (debug)
+    // mode. The 5k/10k tiers run in the release-mode `bench-elect` sweep.
+    let tier = anet_bench_free_workloads_smallest_tier();
+    assert_eq!(tier.len(), 3);
+    for (name, g) in tier {
+        let phi = election_index(&g).expect("tier instances are feasible");
+        let outcome = elect_all(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(outcome.time, phi, "{name}: Theorem 3.1 time");
+        assert_eq!(outcome.outputs.len(), g.num_nodes());
+        assert!(verify_election(&g, &outcome.outputs).is_ok(), "{name}");
+        // The exchange moved O(m) words per round: 2 messages per edge per
+        // round, 2 words each.
+        assert_eq!(outcome.stats.messages, 2 * g.num_edges() * phi, "{name}");
+        assert_eq!(
+            outcome.stats.message_words,
+            2 * outcome.stats.messages,
+            "{name}"
+        );
+        // Hash-consing keeps the working set at O(n) records per depth.
+        assert!(
+            outcome.distinct_views <= (phi + 1) * g.num_nodes(),
+            "{name}"
+        );
+    }
+}
+
+/// The smallest `large_graphs()` tier, reconstructed without depending on
+/// `anet-bench` (the umbrella crate does not link the bench harness): the
+/// same three ~1000-node instances `workloads::large_graphs_up_to(1100)`
+/// yields.
+fn anet_bench_free_workloads_smallest_tier() -> Vec<(String, anonymous_election::graph::Graph)> {
+    use anonymous_election::families::ring_of_cliques;
+    vec![
+        (
+            "ring_of_cliques(k=166,x=5)".into(),
+            ring_of_cliques::ring_of_cliques_base(166, 5),
+        ),
+        (
+            "necklace(k=92,x=5,phi=3)".into(),
+            necklace_base(NecklaceParams {
+                k: 92,
+                x: 5,
+                phi: 3,
+            }),
+        ),
+        (
+            "random_sparse(n=1000)".into(),
+            generators::random_connected_sparse(1000, 1000, 101),
+        ),
+    ]
+}
+
+#[test]
 fn stretched_gadget_elects_despite_local_symmetry() {
     // The Proposition 4.1 gadget is feasible (the hub star is unique), so
     // given enough time and the right advice the election still succeeds —

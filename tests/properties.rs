@@ -7,8 +7,11 @@
 use proptest::prelude::*;
 
 use anonymous_election::advice::{codec, BitString};
-use anonymous_election::election::{elect_all, generic_elect_all};
+use anonymous_election::election::advice_build::compute_advice_reference;
+use anonymous_election::election::{compute_advice, elect_all, generic_elect_all};
 use anonymous_election::graph::{algo, generators, relabel};
+use anonymous_election::sim::com::exchange_views_tree;
+use anonymous_election::sim::exchange_views;
 use anonymous_election::views::{election_index, election_index_naive, AugmentedView, ViewClasses};
 
 /// Strategy: a connected random graph described by (size, edge probability,
@@ -144,5 +147,34 @@ proptest! {
         let g = generators::random_connected(n, p, seed);
         let (h, _) = relabel::random_node_permutation(&g, seed.wrapping_add(7));
         prop_assert_eq!(election_index(&g), election_index(&h));
+    }
+
+    #[test]
+    fn arena_com_exchange_matches_materialized_tree_oracle((n, p, seed) in graph_params()) {
+        // The hash-consed COM exchange must acquire views structurally equal
+        // to those of the literal tree-shipping reading of Algorithm 1.
+        let g = generators::random_connected(n, p, seed);
+        for depth in 0..3usize {
+            let arena_views = exchange_views(&g, depth);
+            let oracle_views = exchange_views_tree(&g, depth);
+            prop_assert_eq!(&arena_views, &oracle_views);
+            // Both equal the centrally computed views.
+            prop_assert_eq!(&arena_views, &AugmentedView::compute_all(&g, depth));
+        }
+    }
+
+    #[test]
+    fn arena_advice_matches_materialized_tree_reference((n, p, seed) in graph_params()) {
+        // ComputeAdvice over the arena must emit bit-identical advice to the
+        // original materialized-tree construction.
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            prop_assume!(phi <= 4);
+            let arena = compute_advice(&g).unwrap();
+            let reference = compute_advice_reference(&g).unwrap();
+            prop_assert_eq!(&arena.bits, &reference.bits);
+            prop_assert_eq!(&arena.labels, &reference.labels);
+            prop_assert_eq!(arena.root, reference.root);
+        }
     }
 }
