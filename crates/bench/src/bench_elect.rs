@@ -20,7 +20,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use anet_election::{compute_advice_with, simulate_election, verify_election};
+use anet_election::{simulate_election, verify_election, Instance};
 use anet_views::RefineOptions;
 
 use crate::workloads;
@@ -86,14 +86,16 @@ pub fn run_elect_sweep(max_n: usize, threads: usize) -> Vec<ElectRecord> {
         .into_iter()
         .map(|inst| {
             let g = &inst.graph;
+            let session = Instance::with_options(g, opts);
 
             let start = Instant::now();
-            let advice = compute_advice_with(g, &opts)
+            let advice = session
+                .advice()
                 .unwrap_or_else(|e| panic!("{}: ComputeAdvice failed: {e}", inst.name));
             let advice_ms = start.elapsed().as_secs_f64() * 1e3;
 
             let start = Instant::now();
-            let sim = simulate_election(g, &advice)
+            let sim = simulate_election(g, advice)
                 .unwrap_or_else(|e| panic!("{}: Elect simulation failed: {e}", inst.name));
             let sim_ms = start.elapsed().as_secs_f64() * 1e3;
 

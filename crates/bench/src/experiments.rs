@@ -4,15 +4,13 @@
 
 use std::fmt::Write as _;
 
-use anet_election::baselines;
-use anet_election::elect_all;
-use anet_election::generic::generic_elect_all;
-use anet_election::milestones::{election_milestone, Milestone};
+use anet_election::milestones::Milestone;
+use anet_election::{baselines, AdviceScheme, Generic, Instance, MilestoneScheme, MinTime};
 use anet_families::necklace::NecklaceParams;
 use anet_families::ring_of_cliques::{family_gk_size, ring_of_cliques_base};
 use anet_families::{hairy_ring, lock_chain_graph, necklace_base, stretched_gadget, unrolled_ring};
 use anet_graph::{algo, dot, generators};
-use anet_views::{election_index, AugmentedView};
+use anet_views::AugmentedView;
 
 use crate::workloads;
 
@@ -29,7 +27,8 @@ pub fn e1_min_time_advice() -> String {
     .unwrap();
     for inst in workloads::growing_feasible_graphs() {
         let n = inst.graph.num_nodes();
-        let outcome = elect_all(&inst.graph).expect("feasible instance");
+        let session = Instance::new(&inst.graph);
+        let outcome = MinTime.elect(&session).expect("feasible instance");
         let nlogn = (n as f64) * (n as f64).log2();
         writeln!(
             out,
@@ -38,9 +37,9 @@ pub fn e1_min_time_advice() -> String {
             n,
             outcome.phi,
             outcome.time,
-            outcome.advice_bits,
+            outcome.advice_bits(),
             nlogn,
-            outcome.advice_bits as f64 / nlogn
+            outcome.advice_bits() as f64 / nlogn
         )
         .unwrap();
         assert_eq!(
@@ -70,7 +69,9 @@ pub fn e2_ring_of_cliques_lower_bound() -> String {
     for (k, x) in [(4usize, 3usize), (6, 3), (8, 3), (10, 4), (14, 4)] {
         let g = ring_of_cliques_base(k, x);
         let n = g.num_nodes();
-        let phi = election_index(&g).expect("family members are feasible");
+        let phi = Instance::new(&g)
+            .phi()
+            .expect("family members are feasible");
         let lower_bits = log2_factorial(k as u64 - 1);
         let shape = (n as f64) * (n as f64).log2().log2().max(1.0);
         writeln!(
@@ -123,7 +124,7 @@ pub fn e3_necklace_lower_bound() -> String {
         let params = NecklaceParams { k, x, phi };
         let g = necklace_base(params);
         let n = g.num_nodes();
-        let idx = election_index(&g).expect("necklaces are feasible");
+        let idx = Instance::new(&g).phi().expect("necklaces are feasible");
         let lower_bits = (params.family_size() as f64).log2();
         let loglog = (n as f64).log2().log2().max(1.0);
         let shape = (n as f64) * loglog * loglog / (n as f64).log2();
@@ -162,10 +163,12 @@ pub fn e4_generic_time() -> String {
     )
     .unwrap();
     for inst in workloads::growing_feasible_graphs() {
-        let d = algo::diameter(&inst.graph);
-        let phi = election_index(&inst.graph).unwrap();
+        // One cached analysis serves all three x values.
+        let session = Instance::new(&inst.graph);
+        let d = session.diameter();
+        let phi = session.phi().unwrap();
         for x in [phi, phi + 2, phi + 5] {
-            let outcome = generic_elect_all(&inst.graph, x).expect("x >= phi");
+            let outcome = Generic { x }.elect(&session).expect("x >= phi");
             writeln!(
                 out,
                 "{:<22} {:>5} {:>3} {:>4} {:>4} {:>6} {:>8}",
@@ -195,12 +198,15 @@ pub fn e5_milestones() -> String {
         "graph", "phi", "D", "milestone", "advice(bit)", "param P", "time", "bound"
     )
     .unwrap();
-    let c = 2;
     for inst in workloads::growing_feasible_graphs().into_iter().take(8) {
-        let phi = election_index(&inst.graph).unwrap();
-        let d = algo::diameter(&inst.graph);
+        // One cached analysis serves all four milestones.
+        let session = Instance::new(&inst.graph);
+        let phi = session.phi().unwrap();
+        let d = session.diameter();
         for m in Milestone::ALL {
-            let r = election_milestone(&inst.graph, m, c).expect("milestones succeed");
+            let r = MilestoneScheme(m)
+                .elect(&session)
+                .expect("milestones succeed");
             writeln!(
                 out,
                 "{:<22} {:>4} {:>3} {:<14} {:>11} {:>9} {:>7} {:>10}",
@@ -209,8 +215,8 @@ pub fn e5_milestones() -> String {
                 d,
                 format!("{m:?}"),
                 r.advice_bits(),
-                r.parameter,
-                r.generic.time,
+                r.parameter.expect("milestones carry P_i"),
+                r.time,
                 r.time_bound
             )
             .unwrap();
@@ -244,8 +250,9 @@ pub fn e6_lock_families() -> String {
     for i in 0..3 {
         let lc = lock_chain_graph(alpha, c, i);
         let n = lc.graph.num_nodes();
-        let phi = election_index(&lc.graph).expect("Claim 4.1");
-        let d = algo::diameter(&lc.graph);
+        let session = Instance::new(&lc.graph);
+        let phi = session.phi().expect("Claim 4.1");
+        let d = session.diameter();
         let pd = algo::distance(&lc.graph, lc.left_principal, lc.right_principal);
         writeln!(
             out,
@@ -276,26 +283,27 @@ pub fn e7_hairy_rings() -> String {
     let ring = hairy_ring(&sizes);
     let unrolled = unrolled_ring(&sizes, 4);
     let (gadget, hub, copy_firsts) = stretched_gadget(&sizes, 0, 6, 8);
+    let ring_session = Instance::new(&ring);
     writeln!(
         out,
         "hairy ring: n = {}, feasible = {}, phi = {:?}",
         ring.num_nodes(),
-        election_index(&ring).is_some(),
-        election_index(&ring)
+        ring_session.is_feasible(),
+        ring_session.phi().ok()
     )
     .unwrap();
     writeln!(
         out,
         "unrolled ring (x4): n = {}, feasible = {}",
         unrolled.num_nodes(),
-        election_index(&unrolled).is_some()
+        Instance::new(&unrolled).is_feasible()
     )
     .unwrap();
     writeln!(
         out,
         "stretched gadget (x6 + hub star): n = {}, feasible = {}, hub degree = {}",
         gadget.num_nodes(),
-        election_index(&gadget).is_some(),
+        Instance::new(&gadget).is_feasible(),
         gadget.degree(hub)
     )
     .unwrap();
@@ -332,8 +340,9 @@ pub fn e8_election_index_vs_bound() -> String {
     .unwrap();
     for inst in workloads::growing_feasible_graphs() {
         let n = inst.graph.num_nodes();
-        let d = algo::diameter(&inst.graph);
-        let phi = election_index(&inst.graph).unwrap();
+        let session = Instance::new(&inst.graph);
+        let d = session.diameter();
+        let phi = session.phi().unwrap();
         let bound = (d as f64) * ((n as f64) / (d as f64)).log2().max(1.0);
         writeln!(
             out,
@@ -383,8 +392,9 @@ pub fn e10_advice_ablation() -> String {
     out
 }
 
-/// E9 / figures — regenerate the construction figures as DOT files under
-/// `target/figures/`.
+/// `figures` — regenerate the construction figures as DOT files under
+/// `target/figures/` (the slot the DESIGN numbering reserves between `e8`
+/// and `e10`; there is intentionally no experiment id `e9`).
 pub fn figures(dir: &std::path::Path) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
     let mut out = String::new();

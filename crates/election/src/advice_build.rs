@@ -19,8 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use anet_advice::{codec, BitString, LabeledTree, Trie};
 use anet_graph::{algo, Graph, NodeId};
-use anet_views::election_index::analyze_with;
-use anet_views::{election_index, AugmentedView, RefineOptions, ViewArena, ViewId};
+use anet_views::{election_index, AugmentedView, ViewArena, ViewId};
 
 use crate::error::ElectionError;
 use crate::labels::{
@@ -82,28 +81,36 @@ pub struct DecodedAdvice {
 /// materialized-tree construction; both produce bit-identical advice
 /// (asserted by unit and property tests).
 ///
+/// This is a convenience wrapper building a one-shot
+/// [`Instance`](crate::Instance); sessions that run several schemes on the
+/// same graph should build the `Instance` themselves (the advice is then
+/// computed once and cached).
+///
 /// Returns an error if the graph is infeasible (no advice can enable leader
 /// election in that case).
 pub fn compute_advice(g: &Graph) -> Result<Advice, ElectionError> {
-    compute_advice_with(g, &RefineOptions::default())
+    crate::Instance::new(g).advice().cloned()
 }
 
-/// [`compute_advice`] with explicit refinement-engine options (e.g. a thread
-/// count for the φ computation's parallel key-fill phase on large graphs).
-pub fn compute_advice_with(g: &Graph, opts: &RefineOptions) -> Result<Advice, ElectionError> {
-    let phi = analyze_with(g, opts)
-        .election_index
-        .ok_or(ElectionError::Infeasible)?;
+/// The core of `ComputeAdvice(G)` on an already-analyzed graph: `phi` is the
+/// election index and `levels[d][v]` is the interned id of `B^d(v)` in
+/// `arena` for every depth `0..=phi` (the shape
+/// [`ViewArena::compute_levels`] produces). Called by
+/// [`Instance::advice`](crate::Instance::advice) against the session's
+/// shared arena.
+pub(crate) fn compute_advice_in(
+    g: &Graph,
+    phi: usize,
+    arena: &mut ViewArena,
+    levels: &[Vec<ViewId>],
+) -> Advice {
     debug_assert!(phi >= 1);
-
-    // Interned views of every node at every depth 0..=φ, shared bottom-up.
-    let mut arena = ViewArena::new();
-    let levels = arena.compute_levels(g, phi);
+    debug_assert_eq!(levels.len(), phi + 1);
     let mut memo = LabelMemo::new();
 
     // E1: the trie over all distinct depth-1 views.
-    let distinct_1 = distinct_sorted_ids(&arena, &levels[1]);
-    let e1 = build_trie_arena(&mut arena, &distinct_1, None, &Vec::new(), &mut memo);
+    let distinct_1 = distinct_sorted_ids(arena, &levels[1]);
+    let e1 = build_trie_arena(arena, &distinct_1, None, &Vec::new(), &mut memo);
 
     // E2: iteratively add one (i, L(i)) entry per depth 2..=φ.
     let mut e2: NestedList = Vec::new();
@@ -118,10 +125,10 @@ pub fn compute_advice_with(g: &Graph, opts: &RefineOptions) -> Result<Advice, El
         let mut l_i: Vec<(u64, Trie)> = Vec::new();
         for b_prime in keys {
             let members: Vec<ViewId> = groups[&b_prime].iter().map(|&v| levels[i][v]).collect();
-            let x = distinct_sorted_ids(&arena, &members);
+            let x = distinct_sorted_ids(arena, &members);
             if x.len() > 1 {
-                let j = retrieve_label_arena(&mut arena, b_prime, &e1, &e2, &mut memo);
-                let t_j = build_trie_arena(&mut arena, &x, Some(&e1), &e2, &mut memo);
+                let j = retrieve_label_arena(arena, b_prime, &e1, &e2, &mut memo);
+                let t_j = build_trie_arena(arena, &x, Some(&e1), &e2, &mut memo);
                 l_i.push((j, t_j));
             }
         }
@@ -131,7 +138,7 @@ pub fn compute_advice_with(g: &Graph, opts: &RefineOptions) -> Result<Advice, El
     // Labels at depth φ: a permutation of 1..=n (Claim 3.7 / Proposition 2.1).
     let labels: Vec<u64> = levels[phi]
         .iter()
-        .map(|&id| retrieve_label_arena(&mut arena, id, &e1, &e2, &mut memo))
+        .map(|&id| retrieve_label_arena(arena, id, &e1, &e2, &mut memo))
         .collect();
     let root = labels
         .iter()
@@ -147,7 +154,7 @@ pub fn compute_advice_with(g: &Graph, opts: &RefineOptions) -> Result<Advice, El
     let a2 = tree.encode();
     let bits = codec::concat(&[BitString::from_uint(phi as u64), a1, a2]);
 
-    Ok(Advice {
+    Advice {
         bits,
         phi,
         e1,
@@ -155,7 +162,7 @@ pub fn compute_advice_with(g: &Graph, opts: &RefineOptions) -> Result<Advice, El
         tree,
         labels,
         root,
-    })
+    }
 }
 
 /// The original `ComputeAdvice` over materialized [`AugmentedView`] trees —

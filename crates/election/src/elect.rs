@@ -36,13 +36,15 @@
 
 use std::sync::Arc;
 
+use anet_advice::BitString;
 use anet_graph::{Graph, NodeId, PortPath};
 use anet_sim::{ComNode, RunStats, SharedViewArena, SyncRunner};
-use anet_views::{AugmentedView, RefineOptions, ViewArena, ViewId};
+use anet_views::{AugmentedView, ViewArena, ViewId};
 use parking_lot::Mutex;
 
-use crate::advice_build::{compute_advice_with, decode_advice, Advice, DecodedAdvice};
+use crate::advice_build::{decode_advice, Advice, DecodedAdvice};
 use crate::error::ElectionError;
+use crate::instance::Instance;
 use crate::labels::{retrieve_label, retrieve_label_arena, LabelMemo};
 use crate::verify::verify_election;
 
@@ -98,15 +100,34 @@ pub fn elect_output(advice: &DecodedAdvice, view: &AugmentedView) -> PortPath {
 /// Runs the full minimum-time election pipeline on `g`:
 /// `ComputeAdvice` (oracle) → `Elect` on every node (through the LOCAL
 /// simulator) → verification.
+///
+/// A thin compatibility wrapper building a one-shot
+/// [`Instance`] and running the
+/// [`MinTime`](crate::MinTime) scheme; sessions that run several schemes on
+/// the same graph should share one `Instance` (the φ analysis and the view
+/// arena are then computed once).
 pub fn elect_all(g: &Graph) -> Result<ElectionOutcome, ElectionError> {
-    elect_all_with(g, &RefineOptions::default())
+    use crate::scheme::AdviceScheme;
+    let inst = Instance::new(g);
+    crate::scheme::MinTime
+        .elect(&inst)
+        .map(ElectionOutcome::from)
 }
 
-/// [`elect_all`] with explicit refinement-engine options for the oracle's φ
-/// computation.
-pub fn elect_all_with(g: &Graph, opts: &RefineOptions) -> Result<ElectionOutcome, ElectionError> {
-    let advice = compute_advice_with(g, opts)?;
-    elect_all_with_advice(g, &advice)
+impl From<crate::scheme::Outcome> for ElectionOutcome {
+    fn from(o: crate::scheme::Outcome) -> Self {
+        ElectionOutcome {
+            leader: o.leader,
+            time: o.time,
+            advice_bits: o.advice.len(),
+            phi: o.phi,
+            outputs: o.outputs,
+            stats: o.stats.expect("minimum-time outcomes carry COM stats"),
+            distinct_views: o
+                .distinct_views
+                .expect("minimum-time outcomes carry the arena size"),
+        }
+    }
 }
 
 /// Like [`elect_all`] but reuses an already computed [`Advice`] (useful for
@@ -130,19 +151,33 @@ pub fn elect_all_with_advice(g: &Graph, advice: &Advice) -> Result<ElectionOutco
 /// `COM(0..φ)` over the shared view arena, label every node's acquired
 /// `B^φ(u)` and emit its tree path to the leader.
 pub fn simulate_election(g: &Graph, advice: &Advice) -> Result<Simulation, ElectionError> {
+    simulate_election_in(g, &advice.bits, &Arc::new(Mutex::new(ViewArena::new())))
+}
+
+/// [`simulate_election`] from the raw advice bit string, interning against
+/// the given shared view arena. An [`Instance`] session
+/// passes its own arena here, so the view records built by the oracle's
+/// `ComputeAdvice` phase are reused by the `COM` exchange instead of being
+/// re-interned from scratch; passing a fresh arena reproduces the
+/// standalone behavior exactly (the set of interned subtrees is the same
+/// either way).
+pub fn simulate_election_in(
+    g: &Graph,
+    advice_bits: &BitString,
+    arena: &SharedViewArena,
+) -> Result<Simulation, ElectionError> {
     // Every node independently decodes the same bit string, exactly as in
     // the model (the decoded advice is shared here only to avoid re-decoding
     // per node; decoding is deterministic so the result is identical).
-    let decoded = decode_advice(&advice.bits)?;
+    let decoded = decode_advice(advice_bits)?;
     let phi = decoded.phi;
 
     // Phase 1: the COM exchange, depositing each node's B^φ id.
-    let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
     let acquired: Arc<Mutex<Vec<Option<ViewId>>>> = Arc::new(Mutex::new(vec![None; g.num_nodes()]));
     let runner = SyncRunner::new(g, phi + 1);
     let outcome = runner.run_indexed(|slot, _degree| {
         let acquired = Arc::clone(&acquired);
-        ComNode::new(Arc::clone(&arena), phi, move |_arena, view| {
+        ComNode::new(Arc::clone(arena), phi, move |_arena, view| {
             acquired.lock()[slot] = Some(view);
             PortPath::empty()
         })
@@ -153,9 +188,7 @@ pub fn simulate_election(g: &Graph, advice: &Advice) -> Result<Simulation, Elect
 
     // Phase 2: the purely local output computation (shared across nodes;
     // see the module docs for why this does not change any node's output).
-    let mut arena = Arc::try_unwrap(arena)
-        .expect("all node instances dropped with the runner")
-        .into_inner();
+    let mut arena = arena.lock();
     let ids: Vec<ViewId> = acquired
         .lock()
         .iter()

@@ -15,16 +15,16 @@
 //! module evaluates the *same function* directly on the graph: the nodes at
 //! depth `t` of `B^{r+1}(u)` are exactly the graph nodes reachable from `u`
 //! by a walk of length `t`, and their depth-`x` views are compared through
-//! the [`ViewClasses`] refinement table (class equality ⇔ view equality,
+//! the [`anet_views::ViewClasses`] refinement table (class equality ⇔ view equality,
 //! class order ⇔ canonical view order). Every step of the pseudocode is
 //! emulated faithfully; only the representation of knowledge differs. This
 //! substitution is recorded in `DESIGN.md`.
 
 use anet_graph::{algo, Graph, NodeId, Port, PortPath};
-use anet_views::{walks, RefineOptions, ViewClasses};
+use anet_views::{walks, ClassId};
 
 use crate::error::ElectionError;
-use crate::verify::verify_election;
+use crate::instance::Instance;
 
 /// The per-node trace of a `Generic(x)` run.
 #[derive(Debug, Clone)]
@@ -44,42 +44,105 @@ pub struct GenericOutcome {
 
 /// Runs `Generic(x)` on every node of `g` and verifies the outcome.
 ///
+/// A thin compatibility wrapper building a one-shot
+/// [`Instance`] and running the
+/// [`Generic`](crate::Generic) scheme; sessions that run several values of
+/// `x` (or several schemes) on the same graph should share one `Instance`.
+///
 /// Returns [`ElectionError::TimeTooSmall`]-flavoured failure as
 /// `LeadersDisagree`/`OutputNotSimplePath` only if `x < φ(G)` actually breaks
 /// the election; with `x >= φ(G)` the run always succeeds (Lemma 4.1).
 pub fn generic_elect_all(g: &Graph, x: usize) -> Result<GenericOutcome, ElectionError> {
-    generic_elect_all_with(g, x, &RefineOptions::default())
+    use crate::scheme::AdviceScheme;
+    let inst = Instance::new(g);
+    crate::scheme::Generic { x }
+        .elect(&inst)
+        .map(GenericOutcome::from)
 }
 
-/// [`generic_elect_all`] with explicit refinement-engine options (e.g. a
-/// thread count for the view-quotient computation on large graphs).
-pub fn generic_elect_all_with(
-    g: &Graph,
-    x: usize,
-    opts: &RefineOptions,
-) -> Result<GenericOutcome, ElectionError> {
-    let classes = ViewClasses::compute_with(g, x, opts);
-    let mut halt_rounds = Vec::with_capacity(g.num_nodes());
-    let mut outputs = Vec::with_capacity(g.num_nodes());
-    for u in g.nodes() {
-        let (rounds, path) = run_single_node(g, &classes, u, x);
-        halt_rounds.push(rounds);
-        outputs.push(path);
+impl From<crate::scheme::Outcome> for GenericOutcome {
+    fn from(o: crate::scheme::Outcome) -> Self {
+        GenericOutcome {
+            leader: o.leader,
+            time: o.time,
+            x: o.parameter.expect("generic outcomes carry x") as usize,
+            halt_rounds: o.halt_rounds,
+            outputs: o.outputs,
+        }
     }
-    let leader = verify_election(g, &outputs)?;
-    let time = halt_rounds.iter().copied().max().unwrap_or(0);
-    Ok(GenericOutcome {
-        leader,
-        time,
-        x,
-        halt_rounds,
-        outputs,
-    })
 }
 
-/// Emulates `Generic(x)` for one node; returns the number of rounds used and
-/// the output path.
-fn run_single_node(g: &Graph, classes: &ViewClasses, u: NodeId, x: usize) -> (usize, PortPath) {
+/// Executes `Generic(x)` on every node against an instance's cached
+/// analysis, returning the per-node halting rounds and outputs (the
+/// unverified run; [`crate::Generic::run`] verifies and wraps it).
+///
+/// When the depth-`x` views of all nodes are distinct (always the case for
+/// `x >= φ` on feasible graphs) the per-node emulation collapses to a
+/// closed form — see [`run_all_distinct`] — making the run `O(n · m)`
+/// instead of `O(n · m · D)`; otherwise every node is emulated faithfully
+/// by [`run_single_node`]. Both paths compute the same function (asserted
+/// by tests pitting them against each other on graphs where both apply).
+pub(crate) fn run_on_instance(inst: &Instance<'_>, x: usize) -> (Vec<usize>, Vec<PortPath>) {
+    let g = inst.graph();
+    let row = inst.class_row(x);
+    if inst.num_classes_at(x) == g.num_nodes() {
+        run_all_distinct(g, &row, x, inst.eccentricities())
+    } else {
+        let mut halt_rounds = Vec::with_capacity(g.num_nodes());
+        let mut outputs = Vec::with_capacity(g.num_nodes());
+        for u in g.nodes() {
+            let (rounds, path) = run_single_node(g, &row, u, x);
+            halt_rounds.push(rounds);
+            outputs.push(path);
+        }
+        (halt_rounds, outputs)
+    }
+}
+
+/// The closed form of `Generic(x)` when all depth-`x` views are distinct.
+///
+/// With distinct views, "the frontier contributes no new depth-`x` view"
+/// degenerates to "the frontier contributes no new *node*". A node `v` is
+/// reachable from `u` by a walk of length exactly `l` iff `l >= d_p(u, v)`
+/// for `p = l mod 2` (walks extend by back-and-forth steps of two), so the
+/// set of nodes known after `t` extra rounds is exactly the distance-`t`
+/// ball, and the first `t` whose frontier adds nothing is the eccentricity
+/// of `u` (every node at distance `t + 1` is a new node of the frontier,
+/// and its distance has the frontier's parity by definition). Each node
+/// therefore halts after exactly `x + ecc(u) + 1` rounds having discovered
+/// the whole graph, and outputs the lexicographically smallest shortest
+/// path to the unique globally-smallest depth-`x` view.
+fn run_all_distinct(
+    g: &Graph,
+    row: &[ClassId],
+    x: usize,
+    ecc: &[usize],
+) -> (Vec<usize>, Vec<PortPath>) {
+    let w = row
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &c)| c)
+        .map(|(v, _)| v)
+        .expect("graphs are non-empty");
+    let dist_to_w = algo::bfs_distances(g, w);
+    let halt_rounds = ecc.iter().map(|&e| x + e + 1).collect();
+    let outputs = g
+        .nodes()
+        .map(|u| lex_smallest_shortest_path_via(g, &dist_to_w, u))
+        .collect();
+    (halt_rounds, outputs)
+}
+
+/// Emulates `Generic(x)` for one node against the depth-`x` class row
+/// (`row[v]` = class of `B^x(v)`); returns the number of rounds used and
+/// the output path. This is the faithful per-node reading of Algorithm 7
+/// and the oracle [`run_all_distinct`] is checked against.
+pub(crate) fn run_single_node(
+    g: &Graph,
+    row: &[ClassId],
+    u: NodeId,
+    x: usize,
+) -> (usize, PortPath) {
     // The repeat loop: in the iteration with loop variable r (starting at x),
     // the node has executed COM(0..=r) and thus knows B^{r+1}(u). It stops in
     // the first iteration where the views at depth exactly (r - x + 1) of its
@@ -91,11 +154,11 @@ fn run_single_node(g: &Graph, classes: &ViewClasses, u: NodeId, x: usize) -> (us
         let frontier = walks::reach_exact(g, u, t + 1);
         let known: std::collections::BTreeSet<usize> = walks::members(&within)
             .into_iter()
-            .map(|v| classes.class_of(x, v))
+            .map(|v| row[v])
             .collect();
         let new: std::collections::BTreeSet<usize> = walks::members(&frontier)
             .into_iter()
-            .map(|v| classes.class_of(x, v))
+            .map(|v| row[v])
             .collect();
         if new.is_subset(&known) {
             break t;
@@ -114,14 +177,14 @@ fn run_single_node(g: &Graph, classes: &ViewClasses, u: NodeId, x: usize) -> (us
     let candidates = walks::members(&within);
     let best_class = candidates
         .iter()
-        .map(|&v| classes.class_of(x, v))
+        .map(|&v| row[v])
         .min()
         .expect("at least u itself is discovered");
     let dist_from_u = algo::bfs_distances(g, u);
     let w = candidates
         .iter()
         .copied()
-        .filter(|&v| classes.class_of(x, v) == best_class)
+        .filter(|&v| row[v] == best_class)
         .min_by_key(|&v| {
             (
                 dist_from_u[v],
@@ -135,10 +198,20 @@ fn run_single_node(g: &Graph, classes: &ViewClasses, u: NodeId, x: usize) -> (us
 /// The lexicographically smallest (as a flat port sequence) shortest path
 /// from `from` to `to`.
 pub fn lex_smallest_shortest_path(g: &Graph, from: NodeId, to: NodeId) -> PortPath {
-    let dist_to_target = algo::bfs_distances(g, to);
+    lex_smallest_shortest_path_via(g, &algo::bfs_distances(g, to), from)
+}
+
+/// [`lex_smallest_shortest_path`] against a precomputed distance map of the
+/// target (`dist_to_target[v]` = `d(v, to)`), so runs that route every node
+/// to one common target pay a single BFS.
+pub(crate) fn lex_smallest_shortest_path_via(
+    g: &Graph,
+    dist_to_target: &[usize],
+    from: NodeId,
+) -> PortPath {
     let mut path = PortPath::empty();
     let mut cur = from;
-    while cur != to {
+    while dist_to_target[cur] > 0 {
         // Among neighbors strictly closer to the target, the smallest
         // outgoing port wins (ports are distinct, so no tie).
         let mut chosen: Option<(Port, NodeId, Port)> = None;
@@ -159,7 +232,7 @@ pub fn lex_smallest_shortest_path(g: &Graph, from: NodeId, to: NodeId) -> PortPa
 mod tests {
     use super::*;
     use anet_graph::generators;
-    use anet_views::election_index;
+    use anet_views::{election_index, ViewClasses};
 
     fn feasible_samples() -> Vec<Graph> {
         vec![
@@ -234,6 +307,26 @@ mod tests {
                 assert_eq!(p.len(), algo::distance(&g, u, v));
                 assert!(p.is_simple(&g, u));
                 assert_eq!(p.endpoint(&g, u), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_per_node_emulation() {
+        // Whenever the depth-x views are all distinct both execution paths
+        // apply; they must agree on every halting round and every output.
+        for g in feasible_samples() {
+            let phi = election_index(&g).unwrap();
+            for x in [phi, phi + 2] {
+                let inst = Instance::new(&g);
+                let row = inst.class_row(x);
+                assert_eq!(inst.num_classes_at(x), g.num_nodes());
+                let (fast_halts, fast_outputs) = run_on_instance(&inst, x);
+                for u in g.nodes() {
+                    let (rounds, path) = run_single_node(&g, &row, u, x);
+                    assert_eq!(fast_halts[u], rounds, "halt of node {u}, x = {x}");
+                    assert_eq!(fast_outputs[u], path, "output of node {u}, x = {x}");
+                }
             }
         }
     }

@@ -33,10 +33,26 @@
 //!   `O(log log* φ)` yielding election in time `D+φ+c`, `D+cφ`, `D+φ^c`,
 //!   `D+c^φ`.
 //!
+//! ## The session API
+//!
+//! * [`instance`] — [`Instance`]: a graph wrapped with lazily-computed,
+//!   memoized analysis (view classes, φ, diameter/eccentricities, the
+//!   hash-consed view arena and the full advice). The single place
+//!   [`RefineOptions`](anet_views::RefineOptions) enters the election
+//!   layer.
+//! * [`scheme`] — [`AdviceScheme`]: every algorithm family above as a
+//!   pluggable scheme ([`MinTime`], [`Generic`], [`MilestoneScheme`],
+//!   [`Remark`]) returning the unified [`Outcome`]; [`scheme_suite`] lists
+//!   the whole tradeoff curve. The free functions ([`elect_all`],
+//!   [`generic_elect_all`], [`election_milestone`], [`remark_elect_all`])
+//!   remain as thin one-shot compatibility wrappers.
+//!
 //! ## Support
 //!
 //! * [`encoding`] — the paper-exact binary code `bin(B^1(v))`
 //!   (Proposition 3.3) used by the depth-1 trie queries.
+//! * [`math`] — `⌊log₂⌋`, `log*` and the tower function of the milestone
+//!   constructions.
 //! * [`baselines`] — reference points: full-map advice and the naive
 //!   view-rank labeling whose cost motivates the trie construction.
 //! * [`verify`] — election-outcome verification (all outputs are simple
@@ -51,15 +67,20 @@ pub mod elect;
 pub mod encoding;
 pub mod error;
 pub mod generic;
+pub mod instance;
 pub mod labels;
+pub mod math;
 pub mod milestones;
 pub mod remark;
+pub mod scheme;
 pub mod verify;
 
-pub use advice_build::{compute_advice, compute_advice_with, Advice};
-pub use elect::{elect_all, elect_all_with, simulate_election, ElectionOutcome, Simulation};
+pub use advice_build::{compute_advice, Advice};
+pub use elect::{elect_all, simulate_election, ElectionOutcome, Simulation};
 pub use error::ElectionError;
-pub use generic::{generic_elect_all, generic_elect_all_with, GenericOutcome};
-pub use milestones::{election_milestone, election_milestone_with, Milestone, MilestoneOutcome};
-pub use remark::{remark_elect_all, remark_elect_all_with, RemarkOutcome};
+pub use generic::{generic_elect_all, GenericOutcome};
+pub use instance::{ComputeCounts, Instance};
+pub use milestones::{election_milestone, Milestone, MilestoneOutcome};
+pub use remark::{remark_elect_all, RemarkOutcome};
+pub use scheme::{scheme_suite, AdviceScheme, Generic, MilestoneScheme, MinTime, Outcome, Remark};
 pub use verify::verify_election;

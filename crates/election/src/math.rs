@@ -1,0 +1,103 @@
+//! The integer functions of the milestone constructions (Theorem 4.1):
+//! `⌊log₂⌋`, the iterated logarithm `log*` and the tower function `↑↑2`.
+//!
+//! Kept separate from [`crate::milestones`] so the `Milestone` advice and
+//! parameter code reads as pure paper pseudocode; all three functions are
+//! total over `u64` with the edge conventions documented (and doctested)
+//! below.
+
+/// Floor of `log2(x)`, with the conventions `⌊log 0⌋ = ⌊log 1⌋ = 0` used by
+/// the milestone constructions (they only need `P_i >= φ`).
+///
+/// ```
+/// use anet_election::math::floor_log2;
+///
+/// assert_eq!(floor_log2(0), 0);
+/// assert_eq!(floor_log2(1), 0);
+/// assert_eq!(floor_log2(2), 1);
+/// assert_eq!(floor_log2(3), 1);
+/// assert_eq!(floor_log2(1024), 10);
+/// assert_eq!(floor_log2(u64::MAX), 63);
+/// ```
+pub fn floor_log2(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        63 - x.leading_zeros() as u64
+    }
+}
+
+/// The iterated logarithm `log* x`: the number of times `log2` must be
+/// applied to reach a value at most 1.
+///
+/// ```
+/// use anet_election::math::log_star;
+///
+/// assert_eq!(log_star(0), 0);
+/// assert_eq!(log_star(1), 0);
+/// assert_eq!(log_star(2), 1);
+/// assert_eq!(log_star(16), 3);
+/// assert_eq!(log_star(17), 4);
+/// assert_eq!(log_star(65536), 4);
+/// assert_eq!(log_star(u64::MAX), 5);
+/// ```
+pub fn log_star(x: u64) -> u64 {
+    let mut v = x as f64;
+    let mut count = 0;
+    while v > 1.0 {
+        v = v.log2();
+        count += 1;
+    }
+    count
+}
+
+/// The tower function `^i 2` (`tower(0) = 1`, `tower(i+1) = 2^tower(i)`),
+/// saturating at `u64::MAX` to keep the arithmetic total.
+///
+/// ```
+/// use anet_election::math::tower;
+///
+/// assert_eq!(tower(0), 1);
+/// assert_eq!(tower(1), 2);
+/// assert_eq!(tower(4), 65536);
+/// assert_eq!(tower(5), u64::MAX); // 2^65536 saturates
+/// assert_eq!(tower(u64::MAX), u64::MAX);
+/// ```
+pub fn tower(i: u64) -> u64 {
+    let mut v: u64 = 1;
+    for _ in 0..i {
+        if v >= 64 {
+            return u64::MAX;
+        }
+        v = 1u64 << v;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tower_inverts_log_star() {
+        // By definition of log*, tower(log* x) >= x for every x (the smallest
+        // tower value dominating x), and tower(log* x - 1) < x for x >= 2.
+        for x in [1u64, 2, 3, 4, 5, 16, 17, 65536, 65537, u64::MAX] {
+            let s = log_star(x);
+            assert!(tower(s) >= x, "tower(log* {x}) = {} < {x}", tower(s));
+            if x >= 2 {
+                assert!(tower(s - 1) < x, "tower(log* {x} - 1) >= {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_log2_brackets_powers_of_two() {
+        for e in 1..63u64 {
+            let p = 1u64 << e;
+            assert_eq!(floor_log2(p - 1), e - 1);
+            assert_eq!(floor_log2(p), e);
+            assert_eq!(floor_log2(p + 1), e);
+        }
+    }
+}

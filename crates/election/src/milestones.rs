@@ -16,12 +16,12 @@
 //! theorem shows is within the corresponding milestone.
 
 use anet_advice::BitString;
-use anet_graph::{algo, Graph};
-use anet_views::election_index::analyze_with;
-use anet_views::RefineOptions;
+use anet_graph::Graph;
 
 use crate::error::ElectionError;
-use crate::generic::{generic_elect_all_with, GenericOutcome};
+use crate::generic::GenericOutcome;
+use crate::instance::Instance;
+pub use crate::math::{floor_log2, log_star, tower};
 
 /// The four time/advice milestones of Theorem 4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,41 +84,6 @@ impl MilestoneOutcome {
     }
 }
 
-/// Floor of `log2(x)`, with the conventions `⌊log 0⌋ = ⌊log 1⌋ = 0` used by
-/// the milestone constructions (they only need `P_i >= φ`).
-pub fn floor_log2(x: u64) -> u64 {
-    if x <= 1 {
-        0
-    } else {
-        63 - x.leading_zeros() as u64
-    }
-}
-
-/// The iterated logarithm `log* x`: the number of times `log2` must be
-/// applied to reach a value at most 1.
-pub fn log_star(x: u64) -> u64 {
-    let mut v = x as f64;
-    let mut count = 0;
-    while v > 1.0 {
-        v = v.log2();
-        count += 1;
-    }
-    count
-}
-
-/// The tower function `^i 2` (`tower(0) = 1`, `tower(i+1) = 2^tower(i)`),
-/// saturating at `u64::MAX` to keep the arithmetic total.
-pub fn tower(i: u64) -> u64 {
-    let mut v: u64 = 1;
-    for _ in 0..i {
-        if v >= 64 {
-            return u64::MAX;
-        }
-        v = 1u64 << v;
-    }
-    v
-}
-
 /// The oracle side of a milestone: the advice string for a graph of election
 /// index `phi`.
 pub fn milestone_advice(milestone: Milestone, phi: u64) -> BitString {
@@ -175,40 +140,29 @@ pub fn milestone_time_bound(milestone: Milestone, d: usize, phi: usize, c: usize
 /// Runs a milestone election algorithm end to end on `g` with constant `c`:
 /// computes the advice from `φ(G)`, reconstructs `P_i`, runs `Generic(P_i)`,
 /// and records the theorem's time bound.
+///
+/// A thin compatibility wrapper over the
+/// [`MilestoneScheme`](crate::MilestoneScheme) session scheme (which fixes
+/// `c = 2`, the smallest constant the theorem admits); the bound is restated
+/// for the requested `c`. Sessions running several milestones on the same
+/// graph should share one [`Instance`].
 pub fn election_milestone(
     g: &Graph,
     milestone: Milestone,
     c: usize,
 ) -> Result<MilestoneOutcome, ElectionError> {
-    election_milestone_with(g, milestone, c, &RefineOptions::default())
-}
-
-/// [`election_milestone`] with explicit refinement-engine options for the
-/// underlying `Generic(P_i)` run.
-pub fn election_milestone_with(
-    g: &Graph,
-    milestone: Milestone,
-    c: usize,
-    opts: &RefineOptions,
-) -> Result<MilestoneOutcome, ElectionError> {
+    use crate::scheme::AdviceScheme;
     assert!(c > 1, "the paper requires an integer constant c > 1");
-    let phi = analyze_with(g, opts)
-        .election_index
-        .ok_or(ElectionError::Infeasible)?;
-    let d = algo::diameter(g);
-    let advice = milestone_advice(milestone, phi as u64);
-    let parameter = milestone_parameter(milestone, &advice)?;
-    assert!(
-        parameter >= phi as u64,
-        "the reconstructed parameter must dominate φ"
-    );
-    let generic = generic_elect_all_with(g, parameter as usize, opts)?;
-    let time_bound = milestone_time_bound(milestone, d, phi, c);
+    let inst = Instance::new(g);
+    let outcome = crate::scheme::MilestoneScheme(milestone).elect(&inst)?;
+    let time_bound = milestone_time_bound(milestone, inst.diameter(), outcome.phi, c);
+    let advice = outcome.advice.clone();
+    let parameter = outcome.parameter.expect("milestone outcomes carry P_i");
     Ok(MilestoneOutcome {
         milestone,
         advice,
         parameter,
-        generic,
+        generic: GenericOutcome::from(outcome),
         time_bound,
     })
 }
@@ -216,7 +170,7 @@ pub fn election_milestone_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anet_graph::generators;
+    use anet_graph::{algo, generators};
     use anet_views::election_index;
 
     #[test]

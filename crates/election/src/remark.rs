@@ -16,12 +16,10 @@
 //! quotient (see the module documentation of [`crate::generic`]).
 
 use anet_advice::{codec, BitString};
-use anet_graph::{algo, Graph, NodeId, PortPath};
-use anet_views::{walks, RefineOptions, ViewClasses};
+use anet_graph::{Graph, NodeId, PortPath};
 
 use crate::error::ElectionError;
-use crate::generic::lex_smallest_shortest_path;
-use crate::verify::verify_election;
+use crate::instance::Instance;
 
 /// The outcome of the `D + φ` election.
 #[derive(Debug, Clone)]
@@ -45,16 +43,13 @@ impl RemarkOutcome {
 
 /// The oracle side: the advice `Concat(bin(D), bin(φ))`.
 pub fn remark_advice(g: &Graph) -> Result<BitString, ElectionError> {
-    remark_advice_with(g, &RefineOptions::default())
+    remark_advice_on(&Instance::new(g))
 }
 
-/// [`remark_advice`] with explicit refinement-engine options for the φ
-/// computation.
-pub fn remark_advice_with(g: &Graph, opts: &RefineOptions) -> Result<BitString, ElectionError> {
-    let phi = anet_views::election_index::analyze_with(g, opts)
-        .election_index
-        .ok_or(ElectionError::Infeasible)?;
-    let d = algo::diameter(g);
+/// [`remark_advice`] against an instance's cached `D` and `φ`.
+pub(crate) fn remark_advice_on(inst: &Instance<'_>) -> Result<BitString, ElectionError> {
+    let phi = inst.phi()?;
+    let d = inst.diameter();
     Ok(codec::concat(&[
         BitString::from_uint(d as u64),
         BitString::from_uint(phi as u64),
@@ -95,45 +90,21 @@ pub fn decode_remark_advice(bits: &BitString) -> Result<(usize, usize), Election
 /// assert!(outcome.advice_bits() < 40);
 /// ```
 pub fn remark_elect_all(g: &Graph) -> Result<RemarkOutcome, ElectionError> {
-    remark_elect_all_with(g, &RefineOptions::default())
-}
-
-/// [`remark_elect_all`] with explicit refinement-engine options for the
-/// view-quotient computation.
-pub fn remark_elect_all_with(
-    g: &Graph,
-    opts: &RefineOptions,
-) -> Result<RemarkOutcome, ElectionError> {
-    let advice = remark_advice_with(g, opts)?;
-    let (d, phi) = decode_remark_advice(&advice)?;
-    let classes = ViewClasses::compute_with(g, phi, opts);
-    let time = d + phi;
-
-    let mut outputs = Vec::with_capacity(g.num_nodes());
-    for u in g.nodes() {
-        // After D + φ rounds, the nodes at distance <= D in B^{D+φ}(u) are
-        // all nodes of the graph, and their depth-φ views are visible.
-        let ball = walks::reach_within(g, u, d);
-        debug_assert!(ball.iter().all(|&m| m), "the D-ball covers the graph");
-        let w = g
-            .nodes()
-            .min_by_key(|&v| classes.class_of(phi, v))
-            .expect("graphs are non-empty");
-        outputs.push(lex_smallest_shortest_path(g, u, w));
-    }
-    let leader = verify_election(g, &outputs)?;
+    use crate::scheme::AdviceScheme;
+    let inst = Instance::new(g);
+    let o = crate::scheme::Remark.elect(&inst)?;
     Ok(RemarkOutcome {
-        leader,
-        time,
-        advice,
-        outputs,
+        leader: o.leader,
+        time: o.time,
+        advice: o.advice,
+        outputs: o.outputs,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anet_graph::generators;
+    use anet_graph::{algo, generators};
     use anet_views::election_index;
 
     fn samples() -> Vec<Graph> {

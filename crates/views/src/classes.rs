@@ -36,6 +36,14 @@ pub struct ViewClasses {
     classes: Vec<Vec<ClassId>>,
     /// `num_classes[d]` = number of distinct views at depth `d`.
     num_classes: Vec<usize>,
+    /// First depth `j` (if any) whose class row equals the row at `j + 1`.
+    /// Because each row is a deterministic function of the previous one,
+    /// every depth `>= j` then carries the *identical* row — a labeling
+    /// fixed point, strictly stronger than the count-based stability of
+    /// [`compute_until_stable`](Self::compute_until_stable) (same blocks
+    /// *and* same canonical ranks). It lets [`row_at`](Self::row_at) answer
+    /// arbitrarily deep queries without extending the table.
+    fixed_at: Option<usize>,
 }
 
 impl ViewClasses {
@@ -90,6 +98,7 @@ impl ViewClasses {
         let table = ViewClasses {
             classes: vec![c0],
             num_classes: vec![k0],
+            fixed_at: None,
         };
         (table, refiner)
     }
@@ -101,9 +110,65 @@ impl ViewClasses {
         let d = self.max_depth();
         let (row, k) = refiner.extend(g, &self.classes[d], self.num_classes[d], opts);
         let stable = k == self.num_classes[d];
+        if self.fixed_at.is_none() && row == self.classes[d] {
+            self.fixed_at = Some(d);
+        }
         self.classes.push(row);
         self.num_classes.push(k);
         stable
+    }
+
+    /// Extends the table so that [`row_at`](Self::row_at) can answer depth
+    /// `depth`: grows the table row by row until either `depth` is stored or
+    /// a labeling fixed point is found (from which every deeper row is known
+    /// to be identical). No-op when the table can already answer `depth`.
+    ///
+    /// Each added row is the same deterministic function of its predecessor
+    /// that [`compute`](Self::compute) applies, so a table extended on demand
+    /// is indistinguishable from one computed to the target depth up front
+    /// (asserted by tests).
+    pub fn ensure_depth(&mut self, g: &Graph, depth: usize, opts: &RefineOptions) {
+        if self.fixed_at.is_some() || depth <= self.max_depth() {
+            return;
+        }
+        let mut refiner = Refiner::new(g);
+        while self.max_depth() < depth && self.fixed_at.is_none() {
+            self.extend_one_depth(g, &mut refiner, opts);
+        }
+    }
+
+    /// The stored depth that carries the class row of depth `d`: `d` itself
+    /// when stored, or the fixed-point row for deeper queries.
+    ///
+    /// # Panics
+    /// Panics if `d` exceeds [`max_depth`](Self::max_depth) and no labeling
+    /// fixed point has been reached — call
+    /// [`ensure_depth`](Self::ensure_depth) first.
+    fn resolved_depth(&self, d: usize) -> usize {
+        if d <= self.max_depth() {
+            d
+        } else {
+            assert!(
+                self.fixed_at.is_some(),
+                "depth {d} exceeds max_depth {} without a fixed point; \
+                 call ensure_depth first",
+                self.max_depth()
+            );
+            self.max_depth()
+        }
+    }
+
+    /// The class row of depth `d`, serving depths beyond
+    /// [`max_depth`](Self::max_depth) from the labeling fixed point (see
+    /// [`ensure_depth`](Self::ensure_depth); panics if neither applies).
+    pub fn row_at(&self, d: usize) -> &[ClassId] {
+        &self.classes[self.resolved_depth(d)]
+    }
+
+    /// [`num_classes`](Self::num_classes) through the same deep-depth
+    /// resolution as [`row_at`](Self::row_at).
+    pub fn num_classes_deep(&self, d: usize) -> usize {
+        self.num_classes[self.resolved_depth(d)]
     }
 
     /// Full class tables computed with the seed `BTreeMap` engine. Exposed
@@ -115,6 +180,7 @@ impl ViewClasses {
         ViewClasses {
             classes,
             num_classes,
+            fixed_at: None,
         }
     }
 
@@ -261,6 +327,57 @@ mod tests {
         let min_view = views.iter().min().unwrap();
         let expected: Vec<NodeId> = g.nodes().filter(|&v| &views[v] == min_view).collect();
         assert_eq!(table.smallest_view_nodes(3), expected);
+    }
+
+    #[test]
+    fn ensure_depth_matches_up_front_computation() {
+        // A table deepened on demand must be row-for-row identical to one
+        // computed to the target depth directly.
+        for (g, start, target) in [
+            (generators::lollipop(5, 4), 1usize, 6usize),
+            (generators::caterpillar(5), 0, 5),
+            (generators::random_connected(25, 0.12, 9), 2, 7),
+            (generators::ring(7), 1, 5),
+        ] {
+            let mut lazy = ViewClasses::compute(&g, start);
+            lazy.ensure_depth(&g, target, &RefineOptions::default());
+            let eager = ViewClasses::compute(&g, target);
+            for d in 0..=target {
+                assert_eq!(lazy.row_at(d), eager.classes_at(d), "depth {d}");
+                assert_eq!(lazy.num_classes_deep(d), eager.num_classes(d));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_serves_arbitrarily_deep_rows() {
+        // Once two consecutive rows coincide, every deeper row is identical;
+        // row_at must serve depths far beyond max_depth from the fixed point
+        // and agree with the direct computation.
+        let g = generators::lollipop(5, 4);
+        let mut table = ViewClasses::compute(&g, 0);
+        table.ensure_depth(&g, 1_000_000, &RefineOptions::default());
+        assert!(
+            table.fixed_at.is_some(),
+            "the lollipop refinement reaches a labeling fixed point"
+        );
+        // The table stayed small even though the requested depth is huge.
+        assert!(table.max_depth() < 32);
+        let eager = ViewClasses::compute(&g, table.max_depth() + 3);
+        for d in 0..=table.max_depth() + 3 {
+            assert_eq!(table.row_at(d), eager.classes_at(d), "depth {d}");
+        }
+        // And the deep query really is served (no panic) at any depth.
+        let _ = table.row_at(1_000_000);
+        assert_eq!(table.num_classes_deep(1_000_000), g.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "ensure_depth")]
+    fn row_at_beyond_table_without_fixed_point_panics() {
+        let g = generators::lollipop(5, 4);
+        let table = ViewClasses::compute(&g, 1);
+        let _ = table.row_at(10);
     }
 
     #[test]

@@ -35,8 +35,17 @@ pub fn analyze(g: &Graph) -> FeasibilityReport {
 /// [`analyze`] with explicit refinement-engine options (e.g. a thread count
 /// for the parallel key-fill phase on large graphs).
 pub fn analyze_with(g: &Graph, opts: &RefineOptions) -> FeasibilityReport {
-    let n = g.num_nodes();
     let (table, stable_depth) = ViewClasses::compute_until_stable_with(g, opts);
+    report_from_table(&table, stable_depth)
+}
+
+/// Derives the [`FeasibilityReport`] from an already-stabilized class table
+/// (the output shape of [`ViewClasses::compute_until_stable`]): feasibility
+/// is reaching the discrete partition, and φ is the first all-distinct
+/// depth. Shared by [`analyze_with`] and by callers that keep the table
+/// itself (e.g. the election layer's analysis-caching `Instance`).
+pub fn report_from_table(table: &ViewClasses, stable_depth: usize) -> FeasibilityReport {
+    let n = table.classes_at(0).len();
     let distinct = table.num_classes(table.max_depth());
     if distinct < n {
         return FeasibilityReport {

@@ -52,7 +52,7 @@ pub mod view;
 pub mod walks;
 
 pub use arena::{ViewArena, ViewId};
-pub use classes::ViewClasses;
+pub use classes::{ClassId, ViewClasses};
 pub use election_index::{election_index, election_index_naive, is_feasible, FeasibilityReport};
 pub use refine::{RefineOptions, Refiner};
 pub use view::AugmentedView;

@@ -8,7 +8,10 @@ use proptest::prelude::*;
 
 use anonymous_election::advice::{codec, BitString};
 use anonymous_election::election::advice_build::compute_advice_reference;
-use anonymous_election::election::{compute_advice, elect_all, generic_elect_all};
+use anonymous_election::election::{
+    compute_advice, elect_all, election_milestone, generic_elect_all, remark_elect_all,
+    AdviceScheme, Generic, Instance, Milestone, MilestoneScheme, MinTime, Remark,
+};
 use anonymous_election::graph::{algo, generators, relabel};
 use anonymous_election::sim::com::exchange_views_tree;
 use anonymous_election::sim::exchange_views;
@@ -176,5 +179,71 @@ proptest! {
             prop_assert_eq!(&arena.labels, &reference.labels);
             prop_assert_eq!(arena.root, reference.root);
         }
+    }
+
+    #[test]
+    fn session_schemes_pin_to_legacy_free_functions((n, p, seed) in graph_params()) {
+        // A single warm Instance running every AdviceScheme must produce
+        // bit-identical advice and identical (leader, time) to the
+        // corresponding legacy free function (which builds a fresh one-shot
+        // session per call): cache reuse may never change a result.
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            prop_assume!(phi <= 4);
+            let inst = Instance::new(&g);
+
+            let mt = MinTime.elect(&inst).unwrap();
+            let legacy = elect_all(&g).unwrap();
+            prop_assert_eq!(&mt.advice, &compute_advice(&g).unwrap().bits);
+            prop_assert_eq!(mt.leader, legacy.leader);
+            prop_assert_eq!(mt.time, legacy.time);
+            prop_assert_eq!(mt.advice_bits(), legacy.advice_bits);
+
+            let gn = Generic { x: phi + 1 }.elect(&inst).unwrap();
+            let legacy = generic_elect_all(&g, phi + 1).unwrap();
+            prop_assert_eq!(gn.leader, legacy.leader);
+            prop_assert_eq!(gn.time, legacy.time);
+            prop_assert_eq!(&gn.halt_rounds, &legacy.halt_rounds);
+            prop_assert_eq!(&gn.outputs, &legacy.outputs);
+
+            for m in Milestone::ALL {
+                let ms = MilestoneScheme(m).elect(&inst).unwrap();
+                let legacy = election_milestone(&g, m, 2).unwrap();
+                prop_assert_eq!(&ms.advice, &legacy.advice);
+                prop_assert_eq!(ms.parameter.unwrap(), legacy.parameter);
+                prop_assert_eq!(ms.leader, legacy.generic.leader);
+                prop_assert_eq!(ms.time, legacy.generic.time);
+            }
+
+            let rm = Remark.elect(&inst).unwrap();
+            let legacy = remark_elect_all(&g).unwrap();
+            prop_assert_eq!(&rm.advice, &legacy.advice);
+            prop_assert_eq!(rm.leader, legacy.leader);
+            prop_assert_eq!(rm.time, legacy.time);
+        }
+    }
+
+    #[test]
+    fn instance_queries_are_idempotent_and_computed_once((n, p, seed) in graph_params()) {
+        // φ, diameter and class rows must be stable under repetition, and
+        // the expensive analyses must run at most once per instance however
+        // often they are queried.
+        let g = generators::random_connected(n, p, seed);
+        let inst = Instance::new(&g);
+        let phi = inst.phi();
+        prop_assert_eq!(phi.clone().ok(), election_index(&g));
+        for _ in 0..3 {
+            prop_assert_eq!(inst.phi(), phi.clone());
+            prop_assert_eq!(inst.diameter(), algo::diameter(&g));
+            prop_assert_eq!(inst.feasibility(), inst.feasibility());
+        }
+        let depth = phi.unwrap_or(2).min(4);
+        let row = inst.class_row(depth);
+        prop_assert_eq!(&row, &inst.class_row(depth));
+        prop_assert_eq!(&row, &ViewClasses::compute(&g, depth).classes_at(depth).to_vec());
+        let counts = inst.compute_counts();
+        prop_assert_eq!(counts.analysis, 1);
+        prop_assert!(counts.eccentricities <= 1);
+        prop_assert!(counts.class_deepenings <= 1);
     }
 }
