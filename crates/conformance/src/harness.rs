@@ -1,0 +1,372 @@
+//! The differential conformance harness.
+//!
+//! [`check_graph`] certifies one instance against the full scheme suite;
+//! [`run_corpus`] drives it over a whole [`corpus`](crate::corpus) with
+//! `std::thread::scope` workers. A *certified* instance is one with zero
+//! recorded violations:
+//!
+//! * the cached [`Instance`] analysis agrees with the free view-class
+//!   analysis ([`anet_views::election_index::analyze`]), on the instance and
+//!   on a node-renumbered isomorphic copy;
+//! * on feasible instances, every scheme of [`scheme_suite`] elects a
+//!   leader that
+//!   re-certifies under [`verify_election`], within its theorem time bound
+//!   (or the generic `D + P + 1` guarantee for the asymptotic milestone
+//!   bounds at tiny φ) and its advice-size bound, with the exact theorem
+//!   shapes `time == φ` (min-time) and `time == D + φ` (remark) pinned;
+//! * every scheme is **equivariant**: on the renumbered copy it elects the
+//!   corresponding leader with identical time and advice bits;
+//! * on infeasible instances every scheme refuses, and infeasibility (with
+//!   the same view-quotient size) is preserved by renumbering;
+//! * the session caches compute the expensive analysis exactly once across
+//!   the suite ([`Instance::compute_counts`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use anet_election::{scheme_suite, verify_election, Instance};
+use anet_graph::{relabel, Graph};
+use anet_views::election_index;
+
+use crate::corpus::{build_corpus, mix, CorpusSpec};
+
+/// One scheme run on one instance, as recorded in the conformance report
+/// (no wall-clock fields: reports are byte-deterministic per seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeRecord {
+    /// Scheme name (`min_time`, `generic(x=..)`, `milestone1..4`, `remark`).
+    pub scheme: String,
+    /// Size of the scheme's advice in bits.
+    pub advice_bits: usize,
+    /// Measured election time in rounds.
+    pub time: usize,
+    /// The scheme's theorem time bound on this instance.
+    pub time_bound: usize,
+    /// The bound certification actually checks: the theorem bound, or the
+    /// generic `D + P + 1` guarantee when the scheme ran `Generic(P)` and
+    /// the asymptotic milestone bound is not yet binding at this φ.
+    pub effective_bound: usize,
+}
+
+/// The conformance report of one corpus instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceReport {
+    /// Instance name (from the corpus).
+    pub name: String,
+    /// Generator class (from the corpus).
+    pub kind: &'static str,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Whether the instance is feasible.
+    pub feasible: bool,
+    /// The election index, when feasible.
+    pub phi: Option<usize>,
+    /// The diameter.
+    pub diameter: usize,
+    /// Number of distinct (infinite) views — the view-quotient size.
+    pub distinct_views: usize,
+    /// The depth at which the view partition stabilized.
+    pub stable_depth: usize,
+    /// Per-scheme measurements (empty on infeasible instances).
+    pub schemes: Vec<SchemeRecord>,
+    /// Whether every scheme behaved identically (leader modulo the
+    /// permutation, same time, same advice bits) on the renumbered copy.
+    pub equivariant: bool,
+    /// Human-readable descriptions of every violated check (empty =
+    /// certified).
+    pub violations: Vec<String>,
+}
+
+impl InstanceReport {
+    /// Whether the instance passed every check.
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate counts over a corpus run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Instances checked.
+    pub total: usize,
+    /// Feasible instances with zero violations.
+    pub feasible_certified: usize,
+    /// Infeasible instances with zero violations (every scheme refused).
+    pub infeasible_certified: usize,
+    /// Total violation count across all instances.
+    pub violations: usize,
+}
+
+impl Summary {
+    /// Folds a slice of reports into totals.
+    pub fn of(reports: &[InstanceReport]) -> Summary {
+        let mut s = Summary {
+            total: reports.len(),
+            ..Summary::default()
+        };
+        for r in reports {
+            s.violations += r.violations.len();
+            if r.certified() {
+                if r.feasible {
+                    s.feasible_certified += 1;
+                } else {
+                    s.infeasible_certified += 1;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Certifies one graph; `perm_seed` drives the equivariance renumbering.
+pub fn check_graph(name: &str, kind: &'static str, g: &Graph, perm_seed: u64) -> InstanceReport {
+    let mut violations: Vec<String> = Vec::new();
+    let inst = Instance::new(g);
+    let cached = inst.feasibility();
+
+    // Differential: the session cache against the free one-pass analysis.
+    let free = election_index::analyze(g);
+    if cached != free {
+        violations.push(format!(
+            "Instance::feasibility {cached:?} disagrees with election_index::analyze {free:?}"
+        ));
+    }
+
+    // The renumbered isomorphic copy used by every equivariance check.
+    let (h, perm) = relabel::random_node_permutation(g, perm_seed);
+    let inst_h = Instance::new(&h);
+    let cached_h = inst_h.feasibility();
+    let mut equivariant = true;
+    if cached_h != cached {
+        equivariant = false;
+        violations.push(format!(
+            "feasibility not invariant under renumbering: {cached:?} vs {cached_h:?}"
+        ));
+    }
+
+    let diameter = inst.diameter();
+    let mut schemes: Vec<SchemeRecord> = Vec::new();
+    match inst.phi() {
+        Err(_) => {
+            // Infeasible: no advice can enable election; every scheme must
+            // refuse (at the advice or the run stage).
+            for scheme in scheme_suite(1) {
+                if scheme.elect(&inst).is_ok() {
+                    violations.push(format!(
+                        "{} succeeded on an infeasible graph",
+                        scheme.name()
+                    ));
+                }
+            }
+        }
+        Ok(phi) => {
+            if cached.distinct_views != g.num_nodes() {
+                violations.push(format!(
+                    "feasible but {} distinct views != n = {}",
+                    cached.distinct_views,
+                    g.num_nodes()
+                ));
+            }
+            for scheme in scheme_suite(phi) {
+                let outcome = match scheme.elect(&inst) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        violations.push(format!("{} failed: {e}", scheme.name()));
+                        equivariant = false;
+                        continue;
+                    }
+                };
+                // Re-certify the outputs independently of the scheme's own
+                // verification.
+                match verify_election(g, &outcome.outputs) {
+                    Ok(leader) if leader == outcome.leader => {}
+                    Ok(leader) => violations.push(format!(
+                        "{}: reported leader {} but outputs elect {leader}",
+                        scheme.name(),
+                        outcome.leader
+                    )),
+                    Err(e) => violations
+                        .push(format!("{}: outputs fail verification: {e}", scheme.name())),
+                }
+                // Theorem bounds. Milestone time bounds are asymptotic: at
+                // tiny φ the reconstructed parameter P can exceed f_i(φ), in
+                // which case the generic D + P + 1 guarantee is the binding
+                // one (same caveat as the scheme unit tests).
+                let effective_bound = outcome.parameter.map_or(outcome.time_bound, |p| {
+                    outcome.time_bound.max(diameter + p as usize + 1)
+                });
+                if outcome.time > effective_bound {
+                    violations.push(format!(
+                        "{}: time {} exceeds bound {effective_bound}",
+                        scheme.name(),
+                        outcome.time
+                    ));
+                }
+                match scheme.advice_bound(&inst) {
+                    Ok(cap) if outcome.advice_bits() <= cap => {}
+                    Ok(cap) => violations.push(format!(
+                        "{}: {} advice bits exceed bound {cap}",
+                        scheme.name(),
+                        outcome.advice_bits()
+                    )),
+                    Err(e) => violations.push(format!("{}: advice_bound: {e}", scheme.name())),
+                }
+                // Exact theorem shapes.
+                if outcome.phi != phi {
+                    violations.push(format!("{}: outcome.phi != φ", scheme.name()));
+                }
+                if scheme.name() == "min_time" && outcome.time != phi {
+                    violations.push(format!(
+                        "min_time: time {} != φ = {phi} (Theorem 3.1)",
+                        outcome.time
+                    ));
+                }
+                if scheme.name() == "remark" && outcome.time != diameter + phi {
+                    violations.push(format!(
+                        "remark: time {} != D + φ = {}",
+                        outcome.time,
+                        diameter + phi
+                    ));
+                }
+                // Equivariance: the renumbered copy must elect the
+                // corresponding leader with identical time and advice bits.
+                match scheme.elect(&inst_h) {
+                    Ok(oh) => {
+                        if oh.leader != perm[outcome.leader]
+                            || oh.time != outcome.time
+                            || oh.advice_bits() != outcome.advice_bits()
+                        {
+                            equivariant = false;
+                            violations.push(format!(
+                                "{}: renumbered copy elected {} in {} rounds / {} bits, \
+                                 expected {} / {} / {}",
+                                scheme.name(),
+                                oh.leader,
+                                oh.time,
+                                oh.advice_bits(),
+                                perm[outcome.leader],
+                                outcome.time,
+                                outcome.advice_bits()
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        equivariant = false;
+                        violations.push(format!(
+                            "{}: failed on the renumbered copy: {e}",
+                            scheme.name()
+                        ));
+                    }
+                }
+                schemes.push(SchemeRecord {
+                    scheme: outcome.scheme.clone(),
+                    advice_bits: outcome.advice_bits(),
+                    time: outcome.time,
+                    time_bound: outcome.time_bound,
+                    effective_bound,
+                });
+            }
+            // Session conformance: the whole suite must have cost exactly
+            // one of each expensive analysis.
+            let counts = inst.compute_counts();
+            if counts.analysis != 1 || counts.advice > 1 || counts.levels > 1 {
+                violations.push(format!("session caches recomputed: {counts:?}"));
+            }
+        }
+    }
+
+    InstanceReport {
+        name: name.to_string(),
+        kind,
+        n: g.num_nodes(),
+        m: g.num_edges(),
+        feasible: cached.feasible,
+        phi: cached.election_index,
+        diameter,
+        distinct_views: cached.distinct_views,
+        stable_depth: cached.stable_depth,
+        schemes,
+        equivariant,
+        violations,
+    }
+}
+
+/// Runs the conformance harness over the full corpus of `spec` with up to
+/// `threads` `std::thread::scope` workers (instances are independent; the
+/// report order is the corpus order regardless of the thread count).
+pub fn run_corpus(spec: &CorpusSpec, threads: usize) -> Vec<InstanceReport> {
+    let instances = build_corpus(spec);
+    let workers = threads.clamp(1, instances.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<InstanceReport>> = (0..instances.len()).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<InstanceReport>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(inst) = instances.get(i) else { break };
+                let perm_seed = mix(spec.seed, 0xE9_0000 + i as u64);
+                let report = check_graph(&inst.name, inst.kind, &inst.graph, perm_seed);
+                **slot_refs[i].lock().expect("corpus worker panicked") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn certifies_a_feasible_staple() {
+        let g = generators::lollipop(5, 4);
+        let report = check_graph("lollipop(5,4)", "random", &g, 11);
+        assert!(report.certified(), "{:?}", report.violations);
+        assert!(report.feasible);
+        assert_eq!(report.schemes.len(), 7);
+        assert!(report.equivariant);
+        assert_eq!(report.schemes[0].scheme, "min_time");
+        assert_eq!(Some(report.schemes[0].time), report.phi);
+    }
+
+    #[test]
+    fn certifies_an_infeasible_symmetric_graph() {
+        let g = generators::ring(6);
+        let report = check_graph("ring(6)", "symmetric", &g, 3);
+        assert!(report.certified(), "{:?}", report.violations);
+        assert!(!report.feasible);
+        assert!(report.schemes.is_empty());
+        assert!(report.equivariant);
+        assert_eq!(report.distinct_views, 1);
+    }
+
+    #[test]
+    fn mini_corpus_certifies_end_to_end() {
+        // Debug-build smoke: a small cap keeps this fast; the full default
+        // corpus is exercised in release by `report corpus` (CI smoke job).
+        let spec = CorpusSpec { seed: 5, max_n: 32 };
+        let reports = run_corpus(&spec, 4);
+        let summary = Summary::of(&reports);
+        assert_eq!(summary.violations, 0, "violations in mini corpus");
+        assert!(summary.total >= 100, "got {}", summary.total);
+        assert!(summary.feasible_certified >= 50);
+        assert!(summary.infeasible_certified >= 20);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree() {
+        let spec = CorpusSpec { seed: 9, max_n: 20 };
+        let seq = run_corpus(&spec, 1);
+        let par = run_corpus(&spec, 4);
+        assert_eq!(seq, par);
+    }
+}

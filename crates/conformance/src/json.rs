@@ -1,0 +1,135 @@
+//! Deterministic JSON emission for conformance reports.
+//!
+//! Unlike the perf-sweep emitters of `anet-bench`, conformance records carry
+//! **no wall-clock fields**: the JSON is a pure function of the corpus spec,
+//! so re-running `report corpus` with the same `--seed`/`--max-n` must
+//! reproduce `BENCH_corpus.json` byte for byte (CI compares the two).
+
+use std::io::Write as _;
+
+use crate::harness::{InstanceReport, Summary};
+
+/// Serializes the reports as a JSON object with a summary header and one
+/// record per instance.
+pub fn to_json(reports: &[InstanceReport]) -> String {
+    let s = Summary::of(reports);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "\"summary\": {{\"total\": {}, \"feasible_certified\": {}, \
+         \"infeasible_certified\": {}, \"violations\": {}}},\n",
+        s.total, s.feasible_certified, s.infeasible_certified, s.violations
+    ));
+    out.push_str("\"instances\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let phi = r.phi.map_or("null".to_string(), |p| p.to_string());
+        let schemes: Vec<String> = r
+            .schemes
+            .iter()
+            .map(|sr| {
+                format!(
+                    "{{\"scheme\": \"{}\", \"advice_bits\": {}, \"time\": {}, \
+                     \"time_bound\": {}, \"effective_bound\": {}}}",
+                    escape(&sr.scheme),
+                    sr.advice_bits,
+                    sr.time,
+                    sr.time_bound,
+                    sr.effective_bound
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"kind\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"feasible\": {}, \"phi\": {}, \"diameter\": {}, \
+             \"distinct_views\": {}, \"stable_depth\": {}, \
+             \"equivariant\": {}, \"violations\": {}, \"schemes\": [{}]}}{}\n",
+            escape(&r.name),
+            r.kind,
+            r.n,
+            r.m,
+            r.feasible,
+            phi,
+            r.diameter,
+            r.distinct_views,
+            r.stable_depth,
+            r.equivariant,
+            r.violations.len(),
+            schemes.join(", "),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Writes the reports as JSON to `path`.
+pub fn emit(path: &std::path::Path, reports: &[InstanceReport]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_json(reports).as_bytes())
+}
+
+/// Minimal JSON string escaping (names are ASCII, but quotes and
+/// backslashes must never corrupt the output).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::SchemeRecord;
+
+    fn sample() -> InstanceReport {
+        InstanceReport {
+            name: "lift(clique\"3,s=0)".into(),
+            kind: "lift",
+            n: 6,
+            m: 9,
+            feasible: false,
+            phi: None,
+            diameter: 2,
+            distinct_views: 3,
+            stable_depth: 2,
+            schemes: vec![],
+            equivariant: true,
+            violations: vec![],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut feasible = sample();
+        feasible.name = "lollipop(4,2)".into();
+        feasible.feasible = true;
+        feasible.phi = Some(2);
+        feasible.schemes = vec![SchemeRecord {
+            scheme: "min_time".into(),
+            advice_bits: 120,
+            time: 2,
+            time_bound: 2,
+            effective_bound: 2,
+        }];
+        let json = to_json(&[sample(), feasible]);
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert!(json.contains("\"summary\": {\"total\": 2"));
+        assert!(json.contains("\"phi\": null"));
+        assert!(json.contains("\"phi\": 2"));
+        assert!(json.contains("lift(clique\\\"3,s=0)"));
+        assert!(json.contains("\"scheme\": \"min_time\""));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let reports = vec![sample()];
+        assert_eq!(to_json(&reports), to_json(&reports));
+    }
+}

@@ -1,0 +1,50 @@
+//! # anet-conformance
+//!
+//! Adversarial corpus generation and differential conformance checking for
+//! the election pipeline.
+//!
+//! The paper's guarantees — a verified leader, `time == φ` for the
+//! minimum-time scheme, the Theorem 3.1/4.1 time and advice bounds, and
+//! invariance under simulator node renumbering — are claims about
+//! *arbitrary* port-labeled graphs, not about the handful of workloads the
+//! benchmarks use. This crate turns them into a machine-checked contract:
+//!
+//! * [`corpus`] — a seed-reproducible **corpus driver** enumerating hundreds
+//!   of instances across permutation-voltage lifts
+//!   ([`anet_graph::lift`]: infeasible covers and feasible near-covers with
+//!   controlled view quotients), φ-targeted ring gadgets
+//!   ([`anet_graph::generators::phi_targeted`]), the lower-bound families of
+//!   `anet-families`, random graphs/trees and symmetric infeasible
+//!   topologies. The same `(seed, max_n)` pair always produces the same
+//!   corpus, bit for bit.
+//! * [`harness`] — the **differential conformance harness**: every
+//!   [`AdviceScheme`](anet_election::AdviceScheme) of
+//!   [`scheme_suite`](anet_election::scheme_suite) runs on every corpus
+//!   instance off one cached [`Instance`](anet_election::Instance),
+//!   re-certified with [`verify_election`](anet_election::verify_election),
+//!   checked against its theorem `time_bound`/`advice_bound`, and asserted
+//!   **equivariant**: a node-renumbered isomorphic copy must elect the
+//!   corresponding leader with identical time and advice bits. Infeasible
+//!   instances must be refused by every scheme, and the cached analysis must
+//!   agree with the free view-class analysis.
+//! * [`json`] — deterministic JSON emission (`BENCH_corpus.json` at the
+//!   repository root; no wall-clock fields, so re-runs with the same seed
+//!   are byte-identical).
+//!
+//! The `report corpus` subcommand of `anet-bench` drives all of this from
+//! the command line:
+//!
+//! ```text
+//! cargo run --release -p anet-bench --bin report -- corpus \
+//!     --seed 7 --max-n 600 --threads 4 --json BENCH_corpus.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod harness;
+pub mod json;
+
+pub use corpus::{build_corpus, CorpusInstance, CorpusSpec};
+pub use harness::{check_graph, run_corpus, InstanceReport, SchemeRecord, Summary};

@@ -84,6 +84,93 @@ mod tests {
     }
 
     #[test]
+    fn accepts_single_node_graph_electing_itself() {
+        let g = Graph::from_adjacency(vec![vec![]]).unwrap();
+        assert_eq!(verify_election(&g, &[PortPath::empty()]).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_all_empty_outputs_as_disagreeing_self_elections() {
+        // Every node electing itself via the empty path is the degenerate
+        // cheat the simple-path contract must reject on n >= 2.
+        let g = generators::path(3);
+        let outputs = vec![PortPath::empty(); 3];
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert_eq!(
+            err,
+            ElectionError::LeadersDisagree {
+                node_a: 0,
+                leader_a: 0,
+                node_b: 1,
+                leader_b: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn leaders_disagree_reports_the_first_conflicting_pair() {
+        // Nodes 0..2 elect node 0; node 3 elects itself via a valid edge
+        // walk. The error must name the first electing node and the first
+        // dissenter with both leaders.
+        let g = generators::path(5);
+        let mut outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 0))
+            .collect();
+        outputs[3] = algo::shortest_path_ports(&g, 3, 4);
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert_eq!(
+            err,
+            ElectionError::LeadersDisagree {
+                node_a: 0,
+                leader_a: 0,
+                node_b: 3,
+                leader_b: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_endpoint_mid_path() {
+        // A path whose first hop is valid but whose second leaves through a
+        // port the intermediate node does not have: resolution dangles, so
+        // the endpoint is undefined and the output is not a simple path.
+        let g = generators::path(3);
+        let mut outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 0))
+            .collect();
+        let mut dangling = algo::shortest_path_ports(&g, 2, 1);
+        dangling.push(9, 9);
+        assert_eq!(dangling.endpoint(&g, 2), None);
+        outputs[2] = dangling;
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert_eq!(err, ElectionError::OutputNotSimplePath { node: 2 });
+    }
+
+    #[test]
+    fn rejects_wrong_incoming_port() {
+        // The outgoing port exists but the claimed arrival port is not the
+        // actual reverse port of the edge: the path does not resolve.
+        let g = generators::path(3);
+        let mut outputs: Vec<PortPath> = g
+            .nodes()
+            .map(|v| algo::shortest_path_ports(&g, v, 0))
+            .collect();
+        let (out, inc) = outputs[2].pairs()[0];
+        outputs[2] = PortPath::from_pairs(vec![(out, inc + 1)]);
+        let err = verify_election(&g, &outputs).unwrap_err();
+        assert_eq!(err, ElectionError::OutputNotSimplePath { node: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per node")]
+    fn panics_on_wrong_output_count() {
+        let g = generators::path(3);
+        let _ = verify_election(&g, &[PortPath::empty()]);
+    }
+
+    #[test]
     fn rejects_non_simple_paths() {
         let g = generators::ring(4);
         // Everyone elects node 0 via a shortest path, except node 2 which

@@ -256,6 +256,37 @@ pub fn random_connected_sparse(n: usize, extra_edges: usize, seed: u64) -> Graph
     b.build().unwrap()
 }
 
+/// A feasible graph whose election index equals a chosen target: the ring
+/// `R_{2·(target+1)}` with a pendant chain of `1..=3` seeded extra nodes
+/// hanging off one ring node (`target >= 1`).
+///
+/// The chain breaks the ring's rotational symmetry at a single node, so the
+/// graph is feasible; but two ring nodes mirror-symmetric around the
+/// attachment point only differ in the *orientation* (clockwise vs.
+/// counter-clockwise port) of their shortest path to the degree-3 node, so
+/// distinguishing them takes view depth equal to that distance. The deepest
+/// such pair forces `φ(G) = target` (pinned by the umbrella property test
+/// `phi_targeted_hits_its_target`), which makes this the **φ-targeted
+/// randomized generator**: seeds vary the chain length (and hence `n`), the
+/// target pins the election index. The conformance corpus uses it to spread
+/// instances across the φ axis instead of sampling graphs whose φ is almost
+/// always 1 or 2.
+pub fn phi_targeted(target: usize, seed: u64) -> Graph {
+    assert!(target >= 1, "the ring construction needs target >= 1");
+    let ring_len = 2 * (target + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chain = 1 + rng.gen_range(0usize..3);
+    let mut b = GraphBuilder::new(ring_len + chain);
+    for v in 0..ring_len {
+        b.add_edge_with_ports(v, 0, (v + 1) % ring_len, 1).unwrap();
+    }
+    for i in 0..chain {
+        let prev = if i == 0 { 0 } else { ring_len + i - 1 };
+        b.add_edge_auto(prev, ring_len + i).unwrap();
+    }
+    b.build().unwrap()
+}
+
 /// A random tree on `n >= 2` nodes (uniform attachment), with random port
 /// order.
 pub fn random_tree(n: usize, seed: u64) -> Graph {
@@ -395,6 +426,19 @@ mod tests {
     fn random_connected_sparse_caps_extra_edges_at_complete_graph() {
         let g = random_connected_sparse(5, 1000, 3);
         assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn phi_targeted_shape() {
+        for seed in 0..4u64 {
+            let g = phi_targeted(6, seed);
+            // Ring of 14 plus a pendant chain of 1..=3 nodes.
+            assert!((15..=17).contains(&g.num_nodes()));
+            assert_eq!(g.num_edges(), g.num_nodes());
+            assert_eq!(g.min_degree(), 1);
+            assert_eq!(g.max_degree(), 3);
+            assert_eq!(g, phi_targeted(6, seed), "deterministic per seed");
+        }
     }
 
     #[test]

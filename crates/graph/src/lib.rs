@@ -21,7 +21,10 @@
 //!   numbering,
 //! * [`dot`] — Graphviz export with port labels (used to regenerate the
 //!   construction figures of the paper),
-//! * [`relabel`] — node/port permutations used by the lower-bound families.
+//! * [`relabel`] — node/port permutations used by the lower-bound families,
+//! * [`lift`] — permutation-voltage lifts (covering graphs / fibrations):
+//!   adversarial generators with controlled view quotients, used by the
+//!   `anet-conformance` corpus.
 //!
 //! Node identifiers ([`NodeId`]) exist only *inside the simulation harness*:
 //! they are never available to the distributed algorithms themselves, which
@@ -36,6 +39,7 @@ pub mod dot;
 pub mod error;
 pub mod generators;
 pub mod graph;
+pub mod lift;
 pub mod path;
 pub mod relabel;
 

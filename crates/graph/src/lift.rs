@@ -1,0 +1,372 @@
+//! Permutation-voltage lifts: covering-graph constructions with controlled
+//! view structure.
+//!
+//! A *voltage graph* (Gross & Tucker; fibrations in the sense of Boldi &
+//! Vigna, *Fibrations of graphs*) is a small base multigraph whose edges
+//! carry permutations ("voltages") of the sheet set `{0, .., k-1}`. Its
+//! `k`-fold **lift** has one node `(b, i)` per base node `b` and sheet `i`,
+//! and for every base edge `{u, v}` with voltage `σ` the lifted edges
+//! `{(u, i), (v, σ(i))}` for all sheets `i`. Port numbers are inherited from
+//! the base arc order, so the projection `(b, i) ↦ b` is a port-preserving
+//! local isomorphism — a graph fibration.
+//!
+//! That makes lifts ideal adversarial generators for the view formalism of
+//! the paper (Yamashita–Kameda):
+//!
+//! * Because the projection is a local isomorphism, all `k` nodes of a fiber
+//!   have **identical views at every depth**; a connected lift with `k >= 2`
+//!   is therefore always *infeasible* for leader election and its number of
+//!   distinct views is at most the number of base nodes (the view quotient
+//!   embeds in the base).
+//! * With the trivial (identity) voltage assignment the lift degenerates to
+//!   `k` disjoint copies of the base — a disconnected cover, split into its
+//!   components by [`VoltageGraph::lift_components`].
+//! * Perturbing a connected lift with a single local defect
+//!   ([`near_cover`]) breaks the fiber symmetry: the result is usually
+//!   feasible, but nodes far from the defect need many rounds to notice it,
+//!   so these *near-covers* have a large election index relative to their
+//!   size.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId, Port};
+
+/// One edge of a voltage graph: the base endpoints (`u == v` encodes a base
+/// self-loop) and the voltage permutation `sigma` over the `k` sheets, as a
+/// vector with `sigma[i]` the sheet reached from sheet `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoltageEdge {
+    /// First base endpoint.
+    pub u: NodeId,
+    /// Second base endpoint (may equal `u`: a base self-loop).
+    pub v: NodeId,
+    /// The voltage permutation of `0..k`.
+    pub sigma: Vec<usize>,
+}
+
+/// A base multigraph with a `k`-sheet voltage assignment on every edge.
+///
+/// Unlike [`Graph`], the base may contain self-loops and parallel edges —
+/// the paper's model constraints (simplicity, connectivity) are checked on
+/// the *lift*, not the base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoltageGraph {
+    /// Number of base nodes.
+    pub base_nodes: usize,
+    /// Number of sheets `k` (the fold of the cover).
+    pub fold: usize,
+    /// The voltage-carrying edges.
+    pub edges: Vec<VoltageEdge>,
+}
+
+/// The identity voltage on `k` sheets (the trivial voltage group element).
+pub fn identity_voltage(k: usize) -> Vec<usize> {
+    (0..k).collect()
+}
+
+/// The cyclic voltage `i ↦ (i + shift) mod k`.
+pub fn cyclic_voltage(k: usize, shift: usize) -> Vec<usize> {
+    (0..k).map(|i| (i + shift) % k).collect()
+}
+
+/// A pseudo-random voltage permutation of `k` sheets drawn from `rng`.
+pub fn random_voltage(k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut sigma = identity_voltage(k);
+    sigma.shuffle(rng);
+    sigma
+}
+
+impl VoltageGraph {
+    /// Wraps an ordinary simple graph as a voltage base with the given
+    /// voltage on every edge (edges enumerated in [`Graph::edges`] order).
+    ///
+    /// # Panics
+    /// Panics if `voltage` is not a permutation of `0..fold`.
+    pub fn from_graph(base: &Graph, fold: usize, voltage: &[usize]) -> Self {
+        assert_permutation(voltage, fold);
+        VoltageGraph {
+            base_nodes: base.num_nodes(),
+            fold,
+            edges: base
+                .edges()
+                .map(|(u, _, v, _)| VoltageEdge {
+                    u,
+                    v,
+                    sigma: voltage.to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Wraps a simple graph with independently seeded pseudo-random voltages
+    /// per edge.
+    pub fn from_graph_random(base: &Graph, fold: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        VoltageGraph {
+            base_nodes: base.num_nodes(),
+            fold,
+            edges: base
+                .edges()
+                .map(|(u, _, v, _)| VoltageEdge {
+                    u,
+                    v,
+                    sigma: random_voltage(fold, &mut rng),
+                })
+                .collect(),
+        }
+    }
+
+    /// The lift node id of base node `b` on sheet `i`.
+    pub fn lift_node(&self, b: NodeId, sheet: usize) -> NodeId {
+        b * self.fold + sheet
+    }
+
+    /// Builds the raw lift adjacency (`adj[v][p] = (u, q)` as in [`Graph`])
+    /// without the simplicity/connectivity validation.
+    ///
+    /// Ports at a lift node `(b, i)` follow the base arc order at `b`: edges
+    /// contribute their arc slots in `self.edges` order, a self-loop at `b`
+    /// contributing two consecutive slots (outgoing then incoming).
+    ///
+    /// Returns an error if some voltage is not a permutation of the sheets
+    /// or a base self-loop has a fixed-point voltage (which would lift to a
+    /// genuine self-loop).
+    pub fn lift_adjacency(&self) -> Result<Vec<Vec<(NodeId, Port)>>, GraphError> {
+        let k = self.fold;
+        let n = self.base_nodes * k;
+        // Assign arc slots (= lift port numbers) per base node, in edge order.
+        let mut degree = vec![0usize; self.base_nodes];
+        let mut slots: Vec<(Port, Port)> = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            assert_permutation(&e.sigma, k);
+            let pu = degree[e.u];
+            degree[e.u] += 1;
+            let pv = degree[e.v];
+            degree[e.v] += 1;
+            slots.push((pu, pv));
+        }
+        let mut adj: Vec<Vec<(NodeId, Port)>> = (0..n)
+            .map(|v| vec![(usize::MAX, usize::MAX); degree[v / k]])
+            .collect();
+        for (e, &(pu, pv)) in self.edges.iter().zip(&slots) {
+            for i in 0..k {
+                let a = self.lift_node(e.u, i);
+                let b = self.lift_node(e.v, e.sigma[i]);
+                if a == b {
+                    // A base self-loop whose voltage fixes sheet i.
+                    return Err(GraphError::SelfLoop { node: a });
+                }
+                adj[a][pu] = (b, pv);
+                adj[b][pv] = (a, pu);
+            }
+        }
+        Ok(adj)
+    }
+
+    /// Builds the `k`-fold lift as a validated [`Graph`].
+    ///
+    /// Fails with the corresponding [`GraphError`] when the lift is not a
+    /// simple connected graph — e.g. [`GraphError::Disconnected`] when the
+    /// voltages do not act transitively on the sheets (the identity
+    /// assignment always ends up here for `k >= 2`), or
+    /// [`GraphError::ParallelEdge`] when two parallel base edges carry
+    /// voltages agreeing on some sheet.
+    pub fn lift(&self) -> Result<Graph, GraphError> {
+        Graph::from_adjacency(self.lift_adjacency()?)
+    }
+
+    /// Builds the lift and splits it into connected components, each
+    /// renumbered contiguously (in increasing lift-node order) and validated
+    /// as its own [`Graph`].
+    ///
+    /// With identity voltages on a connected simple base this returns `k`
+    /// copies of the base — the disjoint `k`-fold cover.
+    pub fn lift_components(&self) -> Result<Vec<Graph>, GraphError> {
+        let adj = self.lift_adjacency()?;
+        let n = adj.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut num_comps = 0usize;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = num_comps;
+            num_comps += 1;
+            let mut stack = vec![start];
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                for &(u, _) in &adj[v] {
+                    if comp[u] == usize::MAX {
+                        comp[u] = c;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        // Renumber each component contiguously, preserving ports.
+        let mut local = vec![usize::MAX; n];
+        let mut sizes = vec![0usize; num_comps];
+        for v in 0..n {
+            local[v] = sizes[comp[v]];
+            sizes[comp[v]] += 1;
+        }
+        let mut parts: Vec<Vec<Vec<(NodeId, Port)>>> =
+            sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        for (v, ports) in adj.iter().enumerate() {
+            parts[comp[v]].push(ports.iter().map(|&(u, q)| (local[u], q)).collect());
+        }
+        parts.into_iter().map(Graph::from_adjacency).collect()
+    }
+}
+
+/// A connected pseudo-random `fold`-lift of a simple connected base, or
+/// `None` if no connected simple lift was found within a few seeded voltage
+/// draws.
+///
+/// The result, when present, is a connected `fold`-cover of `base`: every
+/// fiber consists of `fold` nodes with identical views, so for `fold >= 2`
+/// the lift is always infeasible with at most `base.num_nodes()` distinct
+/// views.
+pub fn random_lift(base: &Graph, fold: usize, seed: u64) -> Option<Graph> {
+    for attempt in 0..8u64 {
+        let vg = VoltageGraph::from_graph_random(base, fold, seed.wrapping_add(attempt));
+        if let Ok(g) = vg.lift() {
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// A *near-cover*: a connected pseudo-random `fold`-lift of `base` with one
+/// local defect — a pendant chain of `1..=3` seeded extra nodes attached to
+/// lift node 0 — breaking the fiber symmetry.
+///
+/// The defect makes the graph asymmetric around one node, so the result is
+/// usually feasible; nodes far from the defect only see it at large view
+/// depth, so the election index of a near-cover tends to grow with its
+/// diameter. Returns `None` when no connected base lift was found.
+pub fn near_cover(base: &Graph, fold: usize, seed: u64) -> Option<Graph> {
+    let lifted = random_lift(base, fold, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let chain = 1 + rng.gen_range(0usize..3);
+    let mut adj: Vec<Vec<(NodeId, Port)>> = lifted.adjacency().to_vec();
+    let mut attach = 0usize;
+    for _ in 0..chain {
+        let fresh = adj.len();
+        let p_attach = adj[attach].len();
+        adj[attach].push((fresh, 0));
+        adj.push(vec![(attach, p_attach)]);
+        attach = fresh;
+    }
+    Some(Graph::from_adjacency(adj).expect("pendant chain preserves validity"))
+}
+
+fn assert_permutation(sigma: &[usize], k: usize) {
+    assert_eq!(sigma.len(), k, "voltage must cover all {k} sheets");
+    let mut seen = vec![false; k];
+    for &s in sigma {
+        assert!(s < k && !seen[s], "voltage is not a permutation of 0..{k}");
+        seen[s] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cyclic_lift_of_a_loop_is_a_ring() {
+        // One base node with a single self-loop of cyclic voltage +1 lifts
+        // to the k-ring (ports 0 = forward, 1 = backward at every node).
+        let vg = VoltageGraph {
+            base_nodes: 1,
+            fold: 6,
+            edges: vec![VoltageEdge {
+                u: 0,
+                v: 0,
+                sigma: cyclic_voltage(6, 1),
+            }],
+        };
+        let g = vg.lift().unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_regular());
+        for v in g.nodes() {
+            assert_eq!(g.neighbor(v, 0).0, (v + 1) % 6);
+        }
+    }
+
+    #[test]
+    fn self_loop_with_fixed_point_voltage_is_rejected() {
+        let vg = VoltageGraph {
+            base_nodes: 1,
+            fold: 3,
+            edges: vec![VoltageEdge {
+                u: 0,
+                v: 0,
+                sigma: identity_voltage(3),
+            }],
+        };
+        assert!(matches!(vg.lift(), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn identity_voltages_give_disjoint_copies_of_the_base() {
+        let base = generators::lollipop(4, 2);
+        let vg = VoltageGraph::from_graph(&base, 3, &identity_voltage(3));
+        assert!(matches!(vg.lift(), Err(GraphError::Disconnected)));
+        let comps = vg.lift_components().unwrap();
+        assert_eq!(comps.len(), 3);
+        for c in &comps {
+            assert_eq!(c.num_nodes(), base.num_nodes());
+            assert_eq!(c.num_edges(), base.num_edges());
+            assert_eq!(c.degree_sequence(), base.degree_sequence());
+        }
+    }
+
+    #[test]
+    fn lift_projection_is_a_local_isomorphism() {
+        // Every lift node (b, i) must replicate the base arc structure at b:
+        // same degree, and its port-p neighbor projects to b's port-p
+        // neighbor in the base.
+        let base = generators::clique(4);
+        let vg = VoltageGraph::from_graph_random(&base, 3, 11);
+        let adj = vg.lift_adjacency().unwrap();
+        for (v, ports) in adj.iter().enumerate() {
+            let b = v / vg.fold;
+            assert_eq!(ports.len(), base.degree(b));
+            for (p, &(u, q)) in ports.iter().enumerate() {
+                let (bu, bq) = base.neighbor(b, p);
+                assert_eq!(u / vg.fold, bu, "port {p} at lift node {v}");
+                assert_eq!(q, bq);
+            }
+        }
+    }
+
+    #[test]
+    fn random_lift_is_deterministic_per_seed() {
+        let base = generators::clique(4);
+        let a = random_lift(&base, 3, 5);
+        let b = random_lift(&base, 3, 5);
+        assert_eq!(a, b);
+        if let (Some(a), Some(c)) = (a, random_lift(&base, 3, 6)) {
+            // Different seeds generally give different voltage draws.
+            assert_eq!(a.num_nodes(), c.num_nodes());
+        }
+    }
+
+    #[test]
+    fn near_cover_adds_a_pendant_chain() {
+        let base = generators::clique(4);
+        let lifted = random_lift(&base, 2, 3).unwrap();
+        let nc = near_cover(&base, 2, 3).unwrap();
+        let extra = nc.num_nodes() - lifted.num_nodes();
+        assert!((1..=3).contains(&extra));
+        assert_eq!(nc.num_edges(), lifted.num_edges() + extra);
+        assert_eq!(nc.min_degree(), 1, "the chain end is a leaf");
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`advice`] — bit strings and the paper's self-delimiting encodings,
 //! * [`election`] — the election algorithms with advice (the paper's
 //!   contribution),
-//! * [`families`] — every lower-bound graph family used in the paper.
+//! * [`families`] — every lower-bound graph family used in the paper,
+//! * [`conformance`] — the adversarial corpus generator and differential
+//!   conformance harness (`report corpus`).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub use anet_advice as advice;
+pub use anet_conformance as conformance;
 pub use anet_election as election;
 pub use anet_families as families;
 pub use anet_graph as graph;

@@ -12,7 +12,8 @@ use anonymous_election::election::{
     compute_advice, elect_all, election_milestone, generic_elect_all, remark_elect_all,
     AdviceScheme, Generic, Instance, Milestone, MilestoneScheme, MinTime, Remark,
 };
-use anonymous_election::graph::{algo, generators, relabel};
+use anonymous_election::graph::lift::{identity_voltage, VoltageGraph};
+use anonymous_election::graph::{algo, generators, lift, relabel};
 use anonymous_election::sim::com::exchange_views_tree;
 use anonymous_election::sim::exchange_views;
 use anonymous_election::views::{election_index, election_index_naive, AugmentedView, ViewClasses};
@@ -221,6 +222,102 @@ proptest! {
             prop_assert_eq!(rm.leader, legacy.leader);
             prop_assert_eq!(rm.time, legacy.time);
         }
+    }
+
+    #[test]
+    fn scheme_outcomes_are_equivariant_under_renumbering((n, p, seed) in graph_params()) {
+        // The conformance contract for MinTime and Generic(x): a
+        // node-renumbered isomorphic copy must elect the corresponding
+        // leader with identical time and advice bits (node ids are harness
+        // bookkeeping the algorithms never see).
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            prop_assume!(phi <= 4);
+            let (h, perm) = relabel::random_node_permutation(&g, seed ^ 0x5ca1ab1e);
+            let inst_g = Instance::new(&g);
+            let inst_h = Instance::new(&h);
+            let schemes: Vec<Box<dyn AdviceScheme>> =
+                vec![Box::new(MinTime), Box::new(Generic { x: phi }), Box::new(Generic { x: phi + 3 })];
+            for scheme in schemes {
+                let og = scheme.elect(&inst_g).unwrap();
+                let oh = scheme.elect(&inst_h).unwrap();
+                prop_assert!(
+                    oh.leader == perm[og.leader]
+                        && oh.time == og.time
+                        && oh.advice_bits() == og.advice_bits(),
+                    "{} not equivariant: leader {} vs {}, time {} vs {}, bits {} vs {}",
+                    scheme.name(),
+                    oh.leader,
+                    perm[og.leader],
+                    oh.time,
+                    og.time,
+                    oh.advice_bits(),
+                    og.advice_bits()
+                );
+                // Outputs correspond node by node through the permutation.
+                for v in g.nodes() {
+                    prop_assert_eq!(
+                        oh.outputs[perm[v]].endpoint(&h, perm[v]),
+                        og.outputs[v].endpoint(&g, v).map(|l| perm[l])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phi_targeted_hits_its_target((t, s) in (1usize..22, any::<u64>())) {
+        // The generator's contract: the election index equals the target
+        // exactly, for every seed (the seed only varies the pendant chain).
+        let g = generators::phi_targeted(t, s);
+        prop_assert_eq!(election_index(&g), Some(t));
+    }
+
+    #[test]
+    fn trivial_voltage_lifts_are_disjoint_covers((n, p, seed) in graph_params()) {
+        // Identity voltages lift a connected base to k disjoint copies: the
+        // connected lift does not exist, and every component replicates the
+        // base exactly (same analysis, node for node up to renumbering).
+        let g = generators::random_connected(n, p, seed);
+        let k = 2 + (seed % 3) as usize;
+        let vg = VoltageGraph::from_graph(&g, k, &identity_voltage(k));
+        prop_assert!(vg.lift().is_err(), "identity lift must be disconnected");
+        let comps = vg.lift_components().unwrap();
+        prop_assert_eq!(comps.len(), k);
+        let base_report = anonymous_election::views::election_index::analyze(&g);
+        for c in &comps {
+            prop_assert_eq!(c.num_nodes(), g.num_nodes());
+            prop_assert_eq!(c.num_edges(), g.num_edges());
+            prop_assert_eq!(
+                &anonymous_election::views::election_index::analyze(c),
+                &base_report
+            );
+        }
+    }
+
+    #[test]
+    fn connected_lifts_are_infeasible_covers((n, p, seed) in (4usize..10, 0.3f64..0.7, any::<u64>())) {
+        // A connected k-fold lift (k >= 2) is a fibration: all k nodes of a
+        // fiber share every view, so the lift has no unique view
+        // (infeasible) and its view quotient embeds in the base. The cached
+        // Instance analysis must agree with the free view-class analysis on
+        // every generated lift.
+        let g = generators::random_connected(n, p, seed);
+        let k = 2 + (seed % 2) as usize;
+        prop_assume!(lift::random_lift(&g, k, seed).is_some());
+        let lifted = lift::random_lift(&g, k, seed).unwrap();
+        prop_assert_eq!(lifted.num_nodes(), k * g.num_nodes());
+        let free = anonymous_election::views::election_index::analyze(&lifted);
+        let inst = Instance::new(&lifted);
+        prop_assert_eq!(inst.is_feasible(), free.feasible);
+        prop_assert_eq!(&inst.feasibility(), &free);
+        prop_assert!(!free.feasible, "a connected {k}-fold cover has no unique view");
+        prop_assert!(
+            free.distinct_views <= g.num_nodes(),
+            "view quotient larger than the base: {} > {}",
+            free.distinct_views,
+            g.num_nodes()
+        );
     }
 
     #[test]
