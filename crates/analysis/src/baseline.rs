@@ -1,0 +1,226 @@
+//! The committed panic-hygiene baseline (`lint-baseline.json`).
+//!
+//! The ratchet needs a place to record how many panic tokens each file is
+//! *allowed* to have; the linter fails when a file exceeds its allowance
+//! and suggests `--update-baseline` when a file has improved, so the
+//! numbers can only go down over time. The container has no registry
+//! access (no `serde`), so this module hand-rolls the tiny JSON subset the
+//! file needs: one object with a `"rule"` string and a `"files"` object of
+//! `path -> count`.
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline: per-file allowed panic-token counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `path -> allowed count`, sorted (BTreeMap) for stable serialization.
+    pub files: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Serializes to the canonical on-disk form: sorted keys, two-space
+    /// indent, trailing newline — byte-stable for CI diffing.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"rule\": \"panic-hygiene\",\n  \"files\": {");
+        let mut first = true;
+        for (path, count) in &self.files {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&quote(path));
+            out.push_str(": ");
+            out.push_str(&count.to_string());
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses the on-disk form. Tolerates arbitrary whitespace and key
+    /// order; rejects anything outside the schema with a message naming
+    /// the offending position.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let mut baseline = Baseline::default();
+        p.consume('{')?;
+        loop {
+            if p.peek_is('}') {
+                p.pos += 1;
+                break;
+            }
+            let key = p.string()?;
+            p.consume(':')?;
+            match key.as_str() {
+                "rule" => {
+                    let rule = p.string()?;
+                    if rule != "panic-hygiene" {
+                        return Err(format!("unexpected baseline rule {rule:?}"));
+                    }
+                }
+                "files" => {
+                    p.consume('{')?;
+                    loop {
+                        if p.peek_is('}') {
+                            p.pos += 1;
+                            break;
+                        }
+                        let path = p.string()?;
+                        p.consume(':')?;
+                        let count = p.number()?;
+                        baseline.files.insert(path, count);
+                        if p.peek_is(',') {
+                            p.pos += 1;
+                        }
+                    }
+                }
+                other => return Err(format!("unexpected baseline key {other:?}")),
+            }
+            if p.peek_is(',') {
+                p.pos += 1;
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+/// JSON string escaping for the small character set paths and messages use.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal recursive-descent cursor over the JSON text.
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, want: char) -> bool {
+        self.skip_ws();
+        self.chars.get(self.pos) == Some(&want)
+    }
+
+    fn consume(&mut self, want: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some(&c) if c == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "baseline parse error at offset {}: expected {want:?}, found {other:?}",
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos) {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some(&c) => out.push(c),
+                        None => return Err("baseline parse error: unterminated escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("baseline parse error: unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!(
+                "baseline parse error at offset {start}: expected a count"
+            ));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|e| format!("baseline parse error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let mut b = Baseline::default();
+        b.files.insert("crates/a/src/lib.rs".into(), 3);
+        b.files.insert("src/lib.rs".into(), 1);
+        let json = b.to_json();
+        assert_eq!(Baseline::from_json(&json).expect("parse"), b);
+        // Canonical form is stable and sorted.
+        assert!(json.find("crates/a").expect("key") < json.find("src/lib").expect("key"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::from_json(&b.to_json()).expect("parse"), b);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_position() {
+        let err = Baseline::from_json("{\"files\": [1]}").expect_err("must fail");
+        assert!(err.contains("expected"), "{err}");
+        let err = Baseline::from_json("{\"rule\": \"other\"}").expect_err("must fail");
+        assert!(err.contains("other"), "{err}");
+    }
+
+    #[test]
+    fn quote_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

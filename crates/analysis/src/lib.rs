@@ -1,0 +1,212 @@
+//! anet-analysis: the workspace static-analysis pass (`report lint`).
+//!
+//! The conformance subsystem certifies *runtime* behavior (byte-identical
+//! reports across engines and thread counts); this crate certifies the
+//! *source tree*: the coding invariants that make those runtime guarantees
+//! hold are checked mechanically instead of by convention. In the spirit of
+//! the advice/proof-labeling literature the repo reproduces, the linter is
+//! a cheap certificate over the codebase — `report lint` exits 0 only when
+//! every invariant verifiably holds.
+//!
+//! The pass is dependency-free by necessity (no registry access, so no
+//! `syn`): [`scanner`] builds a scrubbed token-level source model,
+//! [`workspace`] walks the tree deterministically, [`rules`] implements
+//! the six rules, [`baseline`] holds the panic-hygiene ratchet state and
+//! [`report`] renders text/JSON output. [`run_lint`] is the entry point
+//! the `report` binary calls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use rules::{sort_diagnostics, Diagnostic};
+use workspace::Workspace;
+
+/// Knobs for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Path of the panic-hygiene baseline, relative to the workspace root.
+    pub baseline_path: PathBuf,
+    /// Rewrite the baseline to the current counts instead of enforcing it.
+    pub update_baseline: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            baseline_path: PathBuf::from("lint-baseline.json"),
+            update_baseline: false,
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All violations, sorted by `(path, line, col, rule)`. Non-empty
+    /// means the run failed (exit 1).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Non-fatal observations (e.g. a file improved below its baseline).
+    pub notes: Vec<String>,
+    /// Number of Rust sources scanned.
+    pub files_scanned: usize,
+    /// Whether this run rewrote the baseline file.
+    pub baseline_updated: bool,
+}
+
+impl LintReport {
+    /// Whether the workspace passed every rule.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs all six rules over the workspace rooted at `root`.
+///
+/// Errors are infrastructure problems (unreadable tree, missing or
+/// malformed baseline), distinct from lint violations, which are reported
+/// in the returned [`LintReport`].
+pub fn run_lint(root: &Path, opts: &LintOptions) -> Result<LintReport, String> {
+    let ws = Workspace::scan(root)?;
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(rules::determinism(&ws));
+    diagnostics.extend(rules::wall_clock(&ws));
+    diagnostics.extend(rules::unsafe_hygiene(&ws));
+    diagnostics.extend(rules::doc_integrity(&ws));
+    diagnostics.extend(rules::scoped_threads(&ws));
+
+    let mut notes = Vec::new();
+    let mut baseline_updated = false;
+    let counts = rules::panic_counts(&ws);
+    let baseline_path = root.join(&opts.baseline_path);
+    if opts.update_baseline {
+        let next = Baseline {
+            files: counts.iter().map(|(p, c)| (p.clone(), c.count)).collect(),
+        };
+        std::fs::write(&baseline_path, next.to_json())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        baseline_updated = true;
+    } else {
+        let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+            format!(
+                "read {}: {e}; run `report lint --update-baseline` to create it",
+                baseline_path.display()
+            )
+        })?;
+        let baseline = Baseline::from_json(&text)?;
+        ratchet(&counts, &baseline, &mut diagnostics, &mut notes);
+    }
+
+    sort_diagnostics(&mut diagnostics);
+    Ok(LintReport {
+        diagnostics,
+        notes,
+        files_scanned: ws.files.len(),
+        baseline_updated,
+    })
+}
+
+/// Rule 4 (enforcement half): compares current panic counts to the
+/// committed baseline. Counts above baseline (or new panicking files) are
+/// violations; counts below baseline are notes nudging toward
+/// `--update-baseline` so the allowance only ever shrinks.
+fn ratchet(
+    counts: &std::collections::BTreeMap<String, rules::PanicCount>,
+    baseline: &Baseline,
+    diagnostics: &mut Vec<Diagnostic>,
+    notes: &mut Vec<String>,
+) {
+    for (path, pc) in counts {
+        let allowed = baseline.files.get(path).copied().unwrap_or(0);
+        if pc.count > allowed {
+            diagnostics.push(Diagnostic {
+                rule: "panic-hygiene",
+                path: path.clone(),
+                line: pc.line,
+                col: pc.col,
+                message: format!(
+                    "{} panic site{} (unwrap/expect/panic!) in non-test code, baseline \
+                     allows {allowed}",
+                    pc.count,
+                    if pc.count == 1 { "" } else { "s" }
+                ),
+                help: "return a Result (ElectionError for the election pipeline) instead of \
+                       panicking; the baseline only ratchets down"
+                    .to_string(),
+            });
+        } else if pc.count < allowed {
+            notes.push(format!(
+                "{path}: panic sites improved {allowed} -> {}; run `report lint \
+                 --update-baseline` to lock it in",
+                pc.count
+            ));
+        }
+    }
+    for (path, &allowed) in &baseline.files {
+        if allowed > 0 && !counts.contains_key(path) {
+            notes.push(format!(
+                "{path}: panic sites improved {allowed} -> 0 (or file removed); run \
+                 `report lint --update-baseline` to lock it in"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::PanicCount;
+    use std::collections::BTreeMap;
+
+    fn pc(count: usize) -> PanicCount {
+        PanicCount {
+            count,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    #[test]
+    fn ratchet_flags_regressions_and_notes_improvements() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), pc(3));
+        counts.insert("b.rs".to_string(), pc(1));
+        counts.insert("new.rs".to_string(), pc(2));
+        let mut baseline = Baseline::default();
+        baseline.files.insert("a.rs".into(), 2); // regression: 3 > 2
+        baseline.files.insert("b.rs".into(), 5); // improvement: 1 < 5
+        baseline.files.insert("gone.rs".into(), 4); // improvement: file clean
+        let mut diags = Vec::new();
+        let mut notes = Vec::new();
+        ratchet(&counts, &baseline, &mut diags, &mut notes);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.path == "a.rs"));
+        assert!(
+            diags.iter().any(|d| d.path == "new.rs"),
+            "new files start at 0"
+        );
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes.iter().any(|n| n.contains("b.rs")));
+        assert!(notes.iter().any(|n| n.contains("gone.rs")));
+    }
+
+    #[test]
+    fn ratchet_is_quiet_at_exact_baseline() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), pc(2));
+        let mut baseline = Baseline::default();
+        baseline.files.insert("a.rs".into(), 2);
+        let mut diags = Vec::new();
+        let mut notes = Vec::new();
+        ratchet(&counts, &baseline, &mut diags, &mut notes);
+        assert!(diags.is_empty() && notes.is_empty());
+    }
+}

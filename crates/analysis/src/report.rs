@@ -1,0 +1,143 @@
+//! Report rendering: human-readable text and deterministic JSON.
+//!
+//! Both renderers consume an already-sorted [`LintReport`] and are pure
+//! string builders, so output is byte-identical across runs, thread counts
+//! and machines (no wall-clock, no absolute paths).
+
+use crate::baseline::quote;
+use crate::LintReport;
+
+/// Renders the compiler-style text report: one `path:line:col` span per
+/// violation with its fix-it help, the improvement notes, and a summary
+/// line.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n  help: {}\n",
+            d.path, d.line, d.col, d.rule, d.message, d.help
+        ));
+    }
+    for note in &report.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    if report.baseline_updated {
+        out.push_str("note: lint-baseline.json rewritten\n");
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str(&format!(
+            "lint: clean ({} files scanned, 0 violations)\n",
+            report.files_scanned
+        ));
+    } else {
+        out.push_str(&format!(
+            "lint: {} violation{} across {} files scanned\n",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            report.files_scanned
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable report. Key order is fixed and arrays
+/// follow the canonical diagnostic sort, so the output is byte-stable.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"notes\": [");
+    for (i, note) in report.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&quote(note));
+    }
+    if report.notes.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"violations\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+             \"message\": {}, \"help\": {}}}",
+            quote(d.rule),
+            quote(&d.path),
+            d.line,
+            d.col,
+            quote(&d.message),
+            quote(&d.help)
+        ));
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn sample() -> LintReport {
+        LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "determinism",
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                message: "iteration over `m`".into(),
+                help: "sort it".into(),
+            }],
+            notes: vec!["improved".into()],
+            files_scanned: 12,
+            baseline_updated: false,
+        }
+    }
+
+    #[test]
+    fn text_report_has_span_help_and_summary() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:3:7: [determinism]"));
+        assert!(text.contains("help: sort it"));
+        assert!(text.contains("note: improved"));
+        assert!(text.contains("lint: 1 violation across 12 files scanned"));
+    }
+
+    #[test]
+    fn clean_report_says_clean() {
+        let clean = LintReport {
+            diagnostics: vec![],
+            notes: vec![],
+            files_scanned: 5,
+            baseline_updated: false,
+        };
+        assert!(render_text(&clean).contains("lint: clean (5 files scanned, 0 violations)"));
+        let json = render_json(&clean);
+        assert!(json.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_parseable_shape() {
+        let a = render_json(&sample());
+        let b = render_json(&sample());
+        assert_eq!(a, b);
+        assert!(a.contains("\"files_scanned\": 12"));
+        assert!(a.contains("\"rule\": \"determinism\""));
+        assert!(a.contains("\"line\": 3"));
+        assert!(!a.contains('\\') || a.contains("\\n") || a.contains("\\\""));
+    }
+}

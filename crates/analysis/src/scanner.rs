@@ -1,0 +1,409 @@
+//! The lightweight Rust source scanner behind every lint rule.
+//!
+//! The build environment has no registry access, so there is no `syn` to
+//! lean on; instead this module implements the minimal source model the
+//! rules actually need, as a single linear pass over the text:
+//!
+//! * **Scrubbing** — comments, string literals (plain, raw, byte), char
+//!   literals and doc comments are blanked out character for character
+//!   (newlines preserved), so every rule matches against *code only* and a
+//!   forbidden pattern inside a string or comment can never fire. Because
+//!   blanking preserves positions, every diagnostic's `line:col` span points
+//!   into the original file.
+//! * **Waivers** — while stripping a `//` comment, the scanner parses
+//!   `lint: <rule>(<reason>)` waiver annotations and records them with their
+//!   line; a waiver suppresses its rule on the same line and the line below,
+//!   so both `code // lint: ...` and a comment line above the code work.
+//!   A waiver with an empty reason is deliberately *not* recorded: the whole
+//!   point of the mechanism is a reviewable justification at the site.
+//! * **Test regions** — `#[cfg(test)]` items (the `mod tests` convention)
+//!   are brace-matched and their line ranges marked, and files under
+//!   `tests/` or `benches/` directories are test regions in their entirety.
+//!   Rules about production determinism and panic hygiene skip test lines.
+//!
+//! The scanner is intentionally token-level, not a parser: it cannot see
+//! types, so rules built on it are heuristics (see the rule docs for the
+//! exact patterns). The self-lint test keeps the heuristics honest against
+//! this workspace.
+
+/// A `lint: <rule>(<reason>)` waiver annotation parsed out of a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on. It suppresses `rule` on
+    /// this line and the next.
+    pub line: usize,
+    /// The rule name being waived (e.g. `ordered`).
+    pub rule: String,
+    /// The justification inside the parentheses (never empty).
+    pub reason: String,
+}
+
+/// One source file after scrubbing: code-only lines, test-region marks and
+/// the waivers found in its comments.
+#[derive(Debug, Clone)]
+pub struct ScrubbedFile {
+    /// Workspace-relative path with `/` separators (diagnostic anchor).
+    pub rel: String,
+    /// The scrubbed text, split into lines. Comments and literals are
+    /// replaced by spaces, so columns align with the original file.
+    pub lines: Vec<String>,
+    /// `test_lines[i]` is true iff 0-based line `i` is inside a
+    /// `#[cfg(test)]` region (or the whole file is a test file).
+    pub test_lines: Vec<bool>,
+    /// All waivers, in line order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl ScrubbedFile {
+    /// Scrubs `source` into the rule-facing model. `whole_file_is_test`
+    /// marks every line as test region (files under `tests/`/`benches/`).
+    pub fn new(rel: String, source: &str, whole_file_is_test: bool) -> Self {
+        let (scrubbed, waivers) = scrub(source);
+        let lines: Vec<String> = scrubbed.lines().map(str::to_string).collect();
+        let test_lines = if whole_file_is_test {
+            vec![true; lines.len()]
+        } else {
+            mark_test_regions(&lines)
+        };
+        ScrubbedFile {
+            rel,
+            lines,
+            test_lines,
+            waivers,
+        }
+    }
+
+    /// Whether `rule` is waived on 1-based line `line` (waiver on the same
+    /// line or the line directly above).
+    pub fn is_waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+    }
+}
+
+/// The lexer states of the scrubbing pass.
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth of `/* ... */`.
+    BlockComment(usize),
+    Str,
+    /// Raw string with this many `#`s in its delimiter.
+    RawStr(usize),
+    CharLit,
+}
+
+/// Blanks comments and literals out of `source` (preserving newlines and
+/// character positions) and collects the waiver annotations found in
+/// comments.
+fn scrub(source: &str) -> (String, Vec<Waiver>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut waivers = Vec::new();
+    let mut comment = String::new();
+    let mut line = 1usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Newlines always pass through and terminate line comments.
+            if let State::LineComment = state {
+                collect_waivers(&comment, line, &mut waivers);
+                comment.clear();
+                state = State::Code;
+            }
+            out.push('\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if let Some(hashes) = raw_string_at(&chars, i) {
+                    state = State::RawStr(hashes.0);
+                    out.push_str(&" ".repeat(hashes.1));
+                    i += hashes.1;
+                } else if c == 'b' && next == Some('"') {
+                    state = State::Str;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' && char_literal_at(&chars, i) {
+                    state = State::CharLit;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push_str(&" ".repeat(1 + usize::from(chars.get(i + 1).is_some())));
+                    // Skip the escaped character too (it may be a quote),
+                    // but never skip past a newline so line counts stay
+                    // exact (multi-line strings keep their newlines).
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && hash_run_at(&chars, i + 1) >= hashes {
+                    state = State::Code;
+                    out.push_str(&" ".repeat(1 + hashes));
+                    i += 1 + hashes;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let State::LineComment = state {
+        collect_waivers(&comment, line, &mut waivers);
+    }
+    (out, waivers)
+}
+
+/// Detects a raw (byte) string opener at `i`; returns
+/// `(hash_count, opener_len)`.
+fn raw_string_at(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let hashes = hash_run_at(chars, j);
+    j += hashes;
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// Length of the run of `#` characters starting at `i`.
+fn hash_run_at(chars: &[char], i: usize) -> usize {
+    chars[i.min(chars.len())..]
+        .iter()
+        .take_while(|&&c| c == '#')
+        .count()
+}
+
+/// Distinguishes a char literal `'x'` / `'\n'` from a lifetime `'a` at the
+/// `'` in position `i`.
+fn char_literal_at(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Parses every `lint: <rule>(<reason>)` annotation inside one comment.
+fn collect_waivers(comment: &str, line: usize, out: &mut Vec<Waiver>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        rest = &rest[pos + "lint:".len()..];
+        let trimmed = rest.trim_start();
+        let rule: String = trimmed
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if rule.is_empty() {
+            continue;
+        }
+        let after = &trimmed[rule.len()..];
+        let reason = after
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(reason, _)| reason.trim().to_string())
+            .unwrap_or_default();
+        // An empty reason is not a waiver: the justification is the point.
+        if !reason.is_empty() {
+            out.push(Waiver { line, rule, reason });
+        }
+    }
+}
+
+/// Marks the lines covered by `#[cfg(test)]` items (scrubbed input): from
+/// the attribute to the matching close brace of the item that follows.
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; lines.len()];
+    let mut depth = 0isize; // brace depth of an open test region; -1 = none
+    let mut in_region = false;
+    let mut seen_open = false;
+    for (idx, l) in lines.iter().enumerate() {
+        if !in_region && l.contains("#[cfg(test)]") {
+            in_region = true;
+            seen_open = false;
+            depth = 0;
+        }
+        if in_region {
+            test[idx] = true;
+            for c in l.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                in_region = false;
+            }
+        }
+    }
+    test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrubbed(src: &str) -> ScrubbedFile {
+        ScrubbedFile::new("x.rs".into(), src, false)
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked_in_place() {
+        let f = scrubbed("let a = \"HashMap.keys()\"; // HashMap.keys()\nlet b = 1;\n");
+        assert!(!f.lines[0].contains("keys"));
+        assert!(f.lines[0].contains("let a ="));
+        assert_eq!(f.lines[1], "let b = 1;");
+        // Positions preserved: the semicolon stays at its original column.
+        assert_eq!(
+            f.lines[0].find(';'),
+            "let a = \"HashMap.keys()\"".find(';').or(Some(24))
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let f = scrubbed("let r = r#\"Instant::now\"#; let c = '\"'; let lt: &'static str = x;\n");
+        assert!(!f.lines[0].contains("Instant"));
+        assert!(
+            f.lines[0].contains("'static"),
+            "lifetimes survive: {}",
+            f.lines[0]
+        );
+        assert!(f.lines[0].ends_with("= x;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let f = scrubbed("a /* x /* y */ z */ b\n");
+        assert_eq!(f.lines[0].trim(), "a                   b".trim());
+        assert!(f.lines[0].starts_with('a') && f.lines[0].trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_count() {
+        let f = scrubbed("let s = \"one\ntwo\nthree\";\nlet t = 2;\n");
+        assert_eq!(f.lines.len(), 4);
+        assert_eq!(f.lines[3], "let t = 2;");
+    }
+
+    #[test]
+    fn waivers_are_parsed_with_line_and_reason() {
+        let f = scrubbed("let x = 1; // lint: ordered(keys sorted below)\nlet y = 2;\n");
+        assert_eq!(
+            f.waivers,
+            vec![Waiver {
+                line: 1,
+                rule: "ordered".into(),
+                reason: "keys sorted below".into()
+            }]
+        );
+        assert!(f.is_waived("ordered", 1));
+        assert!(f.is_waived("ordered", 2), "waiver covers the next line");
+        assert!(!f.is_waived("ordered", 3));
+        assert!(!f.is_waived("wall-clock", 1));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_rejected() {
+        let f = scrubbed("let x = 1; // lint: ordered()\nlet y = 1; // lint: ordered\n");
+        assert!(f.waivers.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked_to_the_closing_brace() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = scrubbed(src);
+        assert_eq!(f.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn whole_file_test_marking() {
+        let f = ScrubbedFile::new("tests/x.rs".into(), "fn a() {}\nfn b() {}\n", true);
+        assert!(f.test_lines.iter().all(|&t| t));
+    }
+}

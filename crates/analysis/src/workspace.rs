@@ -1,0 +1,200 @@
+//! Workspace discovery: a deterministic, sorted walk of the source tree.
+//!
+//! The walk is rooted at the workspace directory and visits `src/` trees of
+//! the root package and every `crates/*` member, plus their `tests/` and
+//! `benches/` directories. `vendor/` (offline dependency stubs) and
+//! `target/` are never visited. Files are returned sorted by relative path
+//! so every downstream report is byte-stable.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::scanner::ScrubbedFile;
+
+/// One Rust source file located by the walk.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The crate directory name this file belongs to (`"."` for the
+    /// umbrella package at the workspace root).
+    pub crate_name: String,
+    /// True for files under a `tests/` or `benches/` directory.
+    pub is_test_file: bool,
+    /// True iff this is the crate root (`src/lib.rs` or `src/main.rs`).
+    pub is_crate_root: bool,
+    /// The scrubbed source model.
+    pub scrubbed: ScrubbedFile,
+}
+
+/// The scanned workspace: every source file plus the doc files the
+/// doc-integrity rule reads.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All Rust sources, sorted by `rel`.
+    pub files: Vec<SourceFile>,
+    /// `(rel, contents)` for the markdown files rule 5 checks, sorted.
+    pub docs: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Walks the workspace rooted at `root`. I/O errors on individual
+    /// entries are reported as `Err` so the caller can fail loudly rather
+    /// than lint a partial tree.
+    pub fn scan(root: &Path) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        collect_package(root, root, ".", &mut files)?;
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for member in sorted_dir(&crates_dir)? {
+                if member.is_dir() {
+                    let name = dir_name(&member);
+                    collect_package(root, &member, &name, &mut files)?;
+                }
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+        let mut docs = Vec::new();
+        for rel in ["docs/PAPER_MAP.md", "DESIGN.md"] {
+            let path = root.join(rel);
+            if path.is_file() {
+                docs.push((rel.to_string(), read(&path)?));
+            }
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            docs,
+        })
+    }
+
+    /// The sorted list of crate directory names seen in the walk.
+    pub fn crate_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.iter().map(|f| f.crate_name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+/// Collects the sources of one package: `src/` (recursively), plus
+/// `tests/` and `benches/` marked as test files.
+fn collect_package(
+    root: &Path,
+    pkg: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let src = pkg.join("src");
+    if src.is_dir() {
+        collect_rs(root, &src, crate_name, false, out)?;
+    }
+    for test_dir in ["tests", "benches"] {
+        let dir = pkg.join(test_dir);
+        if dir.is_dir() {
+            collect_rs(root, &dir, crate_name, true, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted at each level.
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    is_test_file: bool,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            collect_rs(root, &entry, crate_name, is_test_file, out)?;
+        } else if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = rel_path(root, &entry);
+            let source = read(&entry)?;
+            let file_name = dir_name(&entry);
+            let is_crate_root = !is_test_file
+                && (file_name == "lib.rs" || file_name == "main.rs")
+                && entry.parent().map(dir_name).as_deref() == Some("src");
+            out.push(SourceFile {
+                scrubbed: ScrubbedFile::new(rel.clone(), &source, is_test_file),
+                rel,
+                crate_name: crate_name.to_string(),
+                is_test_file,
+                is_crate_root,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Directory entries sorted by file name for a stable walk order.
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn dir_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_of_this_workspace_finds_crates_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = Workspace::scan(&root).expect("scan");
+        assert!(ws.files.iter().any(|f| f.rel == "src/lib.rs"));
+        assert!(ws
+            .files
+            .iter()
+            .any(|f| f.rel.starts_with("crates/analysis/src/")));
+        assert!(
+            ws.files.iter().all(|f| !f.rel.starts_with("vendor/")),
+            "vendor stubs must not be linted"
+        );
+        assert!(ws.files.iter().all(|f| !f.rel.starts_with("target/")));
+        let sorted: Vec<&String> = ws.files.iter().map(|f| &f.rel).collect();
+        let mut resorted = sorted.clone();
+        resorted.sort();
+        assert_eq!(sorted, resorted, "walk is sorted");
+        assert!(ws.docs.iter().any(|(rel, _)| rel == "DESIGN.md"));
+    }
+
+    #[test]
+    fn crate_roots_are_marked() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = Workspace::scan(&root).expect("scan");
+        let roots: Vec<&SourceFile> = ws.files.iter().filter(|f| f.is_crate_root).collect();
+        assert!(roots.iter().any(|f| f.rel == "src/lib.rs"));
+        assert!(roots.iter().any(|f| f.rel == "crates/graph/src/lib.rs"));
+        assert!(roots.iter().all(|f| !f.is_test_file));
+    }
+}

@@ -1,0 +1,321 @@
+//! Per-rule fixture tests: each rule gets a mini workspace with one seeded
+//! violation (asserting the exact diagnostic span) and one clean twin.
+//!
+//! Fixtures are generated under `target/lint-fixtures/<test>/` — inside the
+//! repository but outside the directories [`anet_analysis::workspace`]
+//! walks, so the seeded violations can never leak into the repository's own
+//! `report lint` run (the self-lint test next door).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use anet_analysis::rules::Diagnostic;
+use anet_analysis::{run_lint, LintOptions, LintReport};
+
+/// An empty ratchet baseline: every panic site is a violation.
+const EMPTY_BASELINE: &str = "{\n  \"rule\": \"panic-hygiene\",\n  \"files\": {}\n}\n";
+
+/// Materializes a fixture workspace under `target/lint-fixtures/<name>` and
+/// returns its root. `files` are `(relative path, contents)`; a default
+/// empty `lint-baseline.json` is added unless the fixture brings its own.
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/lint-fixtures")
+        .join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale fixture");
+    }
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dirs");
+        fs::write(&path, contents).expect("write fixture file");
+    }
+    if !files.iter().any(|(rel, _)| *rel == "lint-baseline.json") {
+        fs::write(root.join("lint-baseline.json"), EMPTY_BASELINE).expect("write baseline");
+    }
+    root
+}
+
+fn lint(root: &Path) -> LintReport {
+    run_lint(root, &LintOptions::default()).expect("lint run")
+}
+
+/// Asserts the report contains exactly one violation, of `rule`, at
+/// `path:line:col`.
+fn assert_single(report: &LintReport, rule: &str, path: &str, line: usize, col: usize) {
+    let spans: Vec<&Diagnostic> = report.diagnostics.iter().collect();
+    assert_eq!(spans.len(), 1, "expected exactly one violation: {spans:#?}");
+    let d = spans[0];
+    assert_eq!(
+        (d.rule, d.path.as_str(), d.line, d.col),
+        (rule, path, line, col),
+        "wrong span: {d:#?}"
+    );
+    assert!(!d.help.is_empty(), "diagnostics must carry fix-it help");
+}
+
+const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+#[test]
+fn determinism_flags_hashmap_iteration_at_the_site() {
+    let src = "#![forbid(unsafe_code)]\n\
+               use std::collections::HashMap;\n\
+               pub fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+               \x20   m.keys().copied().collect()\n\
+               }\n";
+    let root = fixture("det-violation", &[("crates/app/src/lib.rs", src)]);
+    let report = lint(&root);
+    // `.keys()` starts at the `.` in column 6 of line 4.
+    assert_single(&report, "determinism", "crates/app/src/lib.rs", 4, 6);
+}
+
+#[test]
+fn determinism_accepts_a_waived_twin() {
+    let src = "#![forbid(unsafe_code)]\n\
+               use std::collections::HashMap;\n\
+               pub fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+               \x20   // lint: ordered(result is sorted on the next line)\n\
+               \x20   let mut v: Vec<u32> = m.keys().copied().collect();\n\
+               \x20   v.sort_unstable();\n\
+               \x20   v\n\
+               }\n";
+    let root = fixture("det-clean", &[("crates/app/src/lib.rs", src)]);
+    assert!(lint(&root).is_clean(), "{:#?}", lint(&root).diagnostics);
+}
+
+#[test]
+fn wall_clock_flags_instant_now_outside_bench() {
+    let line = "    let _t = std::time::Instant::now();\n";
+    let src = format!("{FORBID}pub fn f() {{\n{line}}}\n");
+    let root = fixture("clock-violation", &[("crates/app/src/lib.rs", &src)]);
+    let report = lint(&root);
+    let col = line.find("Instant").expect("pattern present") + 1;
+    assert_single(&report, "wall-clock", "crates/app/src/lib.rs", 3, col);
+}
+
+#[test]
+fn wall_clock_is_allowed_inside_bench() {
+    let src = format!("{FORBID}pub fn f() {{\n    let _t = std::time::Instant::now();\n}}\n");
+    let root = fixture("clock-clean", &[("crates/bench/src/lib.rs", &src)]);
+    assert!(lint(&root).is_clean());
+}
+
+#[test]
+fn unsafe_hygiene_flags_a_root_missing_the_forbid() {
+    let root = fixture(
+        "unsafe-violation",
+        &[("crates/app/src/lib.rs", "pub fn f() {}\n")],
+    );
+    let report = lint(&root);
+    assert_single(&report, "unsafe-hygiene", "crates/app/src/lib.rs", 1, 1);
+}
+
+#[test]
+fn unsafe_hygiene_accepts_a_forbidding_root() {
+    let src = format!("{FORBID}pub fn f() {{}}\n");
+    let root = fixture("unsafe-clean", &[("crates/app/src/lib.rs", &src)]);
+    assert!(lint(&root).is_clean());
+}
+
+#[test]
+fn panic_hygiene_flags_counts_above_baseline() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n\
+               \x20   x.unwrap() + y.unwrap()\n\
+               }\n";
+    let baseline = "{\n  \"rule\": \"panic-hygiene\",\n  \"files\": {\n    \
+                    \"crates/app/src/lib.rs\": 1\n  }\n}\n";
+    let root = fixture(
+        "panic-violation",
+        &[
+            ("crates/app/src/lib.rs", src),
+            ("lint-baseline.json", baseline),
+        ],
+    );
+    let report = lint(&root);
+    // Anchored at the first `.unwrap()` (the `.` in column 6 of line 3).
+    assert_single(&report, "panic-hygiene", "crates/app/src/lib.rs", 3, 6);
+    assert!(report.diagnostics[0].message.contains("2 panic sites"));
+    assert!(report.diagnostics[0].message.contains("allows 1"));
+}
+
+#[test]
+fn panic_hygiene_accepts_baseline_and_notes_improvements() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f(x: Option<u32>) -> u32 {\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let at_baseline = "{\n  \"rule\": \"panic-hygiene\",\n  \"files\": {\n    \
+                       \"crates/app/src/lib.rs\": 1\n  }\n}\n";
+    let root = fixture(
+        "panic-clean",
+        &[
+            ("crates/app/src/lib.rs", src),
+            ("lint-baseline.json", at_baseline),
+        ],
+    );
+    let report = lint(&root);
+    assert!(report.is_clean(), "{:#?}", report.diagnostics);
+    assert!(report.notes.is_empty());
+
+    let above = "{\n  \"rule\": \"panic-hygiene\",\n  \"files\": {\n    \
+                 \"crates/app/src/lib.rs\": 3\n  }\n}\n";
+    let root = fixture(
+        "panic-improved",
+        &[
+            ("crates/app/src/lib.rs", src),
+            ("lint-baseline.json", above),
+        ],
+    );
+    let report = lint(&root);
+    assert!(report.is_clean());
+    assert_eq!(report.notes.len(), 1, "{:#?}", report.notes);
+    assert!(report.notes[0].contains("improved 3 -> 1"));
+    assert!(report.notes[0].contains("--update-baseline"));
+}
+
+#[test]
+fn panic_hygiene_ignores_test_code() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() {\n\
+               \x20       Some(1).unwrap();\n\
+               \x20   }\n\
+               }\n";
+    let root = fixture("panic-test-code", &[("crates/app/src/lib.rs", src)]);
+    assert!(lint(&root).is_clean());
+}
+
+#[test]
+fn doc_integrity_flags_an_unresolvable_path() {
+    let src = format!("{FORBID}pub struct Foo;\n");
+    let doc_line = "The entry point is `Foo::frobnicate` here.\n";
+    let doc = format!("# Map\n\n{doc_line}");
+    let root = fixture(
+        "doc-violation",
+        &[
+            ("crates/app/src/lib.rs", src.as_str()),
+            ("docs/PAPER_MAP.md", doc.as_str()),
+        ],
+    );
+    let report = lint(&root);
+    let col = doc_line.find("Foo").expect("token present") + 1;
+    assert_single(&report, "doc-integrity", "docs/PAPER_MAP.md", 3, col);
+    assert!(report.diagnostics[0].message.contains("frobnicate"));
+}
+
+#[test]
+fn doc_integrity_accepts_resolvable_paths_and_std() {
+    let src = format!("{FORBID}pub struct Foo;\nimpl Foo {{\n    pub fn bar(&self) {{}}\n}}\n");
+    let doc = "# Map\n\nSee `Foo::bar` and `std::thread::scope`.\n";
+    let root = fixture(
+        "doc-clean",
+        &[
+            ("crates/app/src/lib.rs", src.as_str()),
+            ("docs/PAPER_MAP.md", doc),
+        ],
+    );
+    let report = lint(&root);
+    assert!(report.is_clean(), "{:#?}", report.diagnostics);
+}
+
+#[test]
+fn doc_integrity_requires_suite_schemes_in_paper_map() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub trait AdviceScheme {}\n\
+               pub struct Thing;\n\
+               impl AdviceScheme for Thing {}\n\
+               pub fn scheme_suite() -> Vec<Thing> {\n\
+               \x20   vec![Thing]\n\
+               }\n";
+    let undocumented = "# Map\n\nNothing here.\n";
+    let root = fixture(
+        "scheme-violation",
+        &[
+            ("crates/app/src/lib.rs", src),
+            ("docs/PAPER_MAP.md", undocumented),
+        ],
+    );
+    let report = lint(&root);
+    let col = "impl AdviceScheme for ".len() + 1;
+    assert_single(&report, "doc-integrity", "crates/app/src/lib.rs", 4, col);
+    assert!(report.diagnostics[0].message.contains("Thing"));
+
+    let documented = "# Map\n\nThe `Thing` scheme implements the remark.\n";
+    let root = fixture(
+        "scheme-clean",
+        &[
+            ("crates/app/src/lib.rs", src),
+            ("docs/PAPER_MAP.md", documented),
+        ],
+    );
+    assert!(lint(&root).is_clean());
+}
+
+#[test]
+fn scoped_threads_flags_bare_spawn() {
+    let line = "    std::thread::spawn(|| {});\n";
+    let src = format!("{FORBID}pub fn f() {{\n{line}}}\n");
+    let root = fixture("spawn-violation", &[("crates/app/src/lib.rs", &src)]);
+    let report = lint(&root);
+    let col = line.find("thread::spawn").expect("pattern present") + 1;
+    assert_single(&report, "scoped-threads", "crates/app/src/lib.rs", 3, col);
+}
+
+#[test]
+fn scoped_threads_accepts_scope() {
+    let src = format!(
+        "{FORBID}pub fn f() {{\n    std::thread::scope(|s| {{\n        \
+         s.spawn(|| {{}});\n    }});\n}}\n"
+    );
+    let root = fixture("spawn-clean", &[("crates/app/src/lib.rs", &src)]);
+    assert!(lint(&root).is_clean());
+}
+
+#[test]
+fn violations_in_strings_and_comments_never_fire() {
+    let src = "#![forbid(unsafe_code)]\n\
+               // std::thread::spawn, Instant::now, m.keys()\n\
+               pub fn f() -> &'static str {\n\
+               \x20   \"std::thread::spawn and Instant::now and .unwrap()\"\n\
+               }\n";
+    let root = fixture("scrubbed-clean", &[("crates/app/src/lib.rs", src)]);
+    assert!(lint(&root).is_clean());
+}
+
+#[test]
+fn missing_baseline_is_an_infrastructure_error_not_a_crash() {
+    let root = fixture("no-baseline", &[("crates/app/src/lib.rs", FORBID)]);
+    fs::remove_file(root.join("lint-baseline.json")).expect("remove baseline");
+    let err = run_lint(&root, &LintOptions::default()).expect_err("must fail");
+    assert!(err.contains("--update-baseline"), "{err}");
+}
+
+#[test]
+fn update_baseline_writes_current_counts() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f(x: Option<u32>) -> u32 {\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let root = fixture("update-baseline", &[("crates/app/src/lib.rs", src)]);
+    let report = run_lint(
+        &root,
+        &LintOptions {
+            update_baseline: true,
+            ..Default::default()
+        },
+    )
+    .expect("lint run");
+    assert!(report.baseline_updated);
+    let written = fs::read_to_string(root.join("lint-baseline.json")).expect("baseline");
+    assert!(
+        written.contains("\"crates/app/src/lib.rs\": 1"),
+        "{written}"
+    );
+    // The freshly written baseline makes the same tree lint clean.
+    assert!(lint(&root).is_clean());
+}

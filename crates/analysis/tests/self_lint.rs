@@ -1,0 +1,42 @@
+//! The linter's own certificate: this repository passes `report lint`.
+//!
+//! This is the test that makes the six rules *enforced invariants* rather
+//! than aspirations — any PR that introduces unordered map iteration, a
+//! wall-clock leak, a dropped `forbid(unsafe_code)`, a panic-count
+//! regression, a stale doc link or a bare `thread::spawn` fails the
+//! workspace test suite (and the CI `lint` gate) with a spanned
+//! diagnostic.
+
+use std::path::Path;
+
+use anet_analysis::report::{render_json, render_text};
+use anet_analysis::{run_lint, LintOptions};
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_passes_its_own_lint() {
+    let report = run_lint(repo_root(), &LintOptions::default()).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean:\n{}",
+        render_text(&report)
+    );
+    // The walk saw the real tree, not an empty directory.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+    assert!(!report.baseline_updated);
+}
+
+#[test]
+fn lint_report_is_deterministic() {
+    let a = run_lint(repo_root(), &LintOptions::default()).expect("first run");
+    let b = run_lint(repo_root(), &LintOptions::default()).expect("second run");
+    assert_eq!(render_json(&a), render_json(&b));
+    assert_eq!(render_text(&a), render_text(&b));
+    // The machine-readable report never embeds machine-specific state.
+    let json = render_json(&a);
+    assert!(!json.contains("/root/"), "absolute paths leaked");
+    assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+}

@@ -120,6 +120,7 @@ pub(crate) fn compute_advice_in(
         for v in g.nodes() {
             groups.entry(levels[i - 1][v]).or_default().push(v);
         }
+        // lint: ordered(keys are re-sorted by canonical view order on the next line)
         let mut keys: Vec<ViewId> = groups.keys().copied().collect();
         keys.sort_by(|&a, &b| arena.cmp_views(a, b));
         let mut l_i: Vec<(u64, Trie)> = Vec::new();

@@ -246,27 +246,20 @@ impl<'g> Instance<'g> {
         // Resolve φ and the levels before entering the OnceCell closure so
         // the error path does not poison the cache with `Infeasible` before
         // the levels cache is populated.
-        if let Some(cached) = self.advice.get() {
-            return cached.as_ref().map_err(Clone::clone);
-        }
-        let result = (|| {
-            let phi = self.phi()?;
-            self.levels()?;
-            let levels = self.levels.get().expect("levels just computed");
-            self.bump(|c| c.advice += 1);
-            Ok(compute_advice_in(
-                self.graph,
-                phi,
-                &mut self.arena.lock(),
-                levels,
-            ))
-        })();
+        let deps = self
+            .phi()
+            .and_then(|phi| self.levels().map(|levels| (phi, levels)));
         self.advice
-            .set(result)
-            .unwrap_or_else(|_| unreachable!("advice cache checked empty above"));
-        self.advice
-            .get()
-            .expect("just set")
+            .get_or_init(|| {
+                let (phi, levels) = deps?;
+                self.bump(|c| c.advice += 1);
+                Ok(compute_advice_in(
+                    self.graph,
+                    phi,
+                    &mut self.arena.lock(),
+                    levels,
+                ))
+            })
             .as_ref()
             .map_err(Clone::clone)
     }

@@ -260,10 +260,13 @@ impl AdviceScheme for MilestoneScheme {
     fn run(&self, inst: &Instance<'_>, advice: &BitString) -> Result<Outcome, ElectionError> {
         let parameter = milestone_parameter(self.0, advice)?;
         let phi = inst.phi()?;
-        assert!(
-            parameter >= phi as u64,
-            "the reconstructed parameter must dominate φ"
-        );
+        // The advice is untrusted input: a parameter below φ means the bit
+        // string was not produced by `milestone_advice` for this graph.
+        if parameter < phi as u64 {
+            return Err(ElectionError::MalformedAdvice(format!(
+                "milestone parameter {parameter} does not dominate φ = {phi}"
+            )));
+        }
         let g = inst.graph();
         let x = parameter as usize;
         let (halt_rounds, outputs) = generic::run_on_instance(inst, x);
@@ -326,7 +329,7 @@ impl AdviceScheme for Remark {
             .enumerate()
             .min_by_key(|&(_, &c)| c)
             .map(|(v, _)| v)
-            .expect("graphs are non-empty");
+            .ok_or(ElectionError::Infeasible)?;
         let dist_to_w = anet_graph::algo::bfs_distances(g, w);
         let outputs: Vec<PortPath> = g
             .nodes()

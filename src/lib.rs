@@ -15,7 +15,10 @@
 //!   contribution),
 //! * [`families`] — every lower-bound graph family used in the paper,
 //! * [`conformance`] — the adversarial corpus generator and differential
-//!   conformance harness (`report corpus`).
+//!   conformance harness (`report corpus`),
+//! * [`analysis`] — the workspace static-analysis pass (`report lint`):
+//!   determinism, panic-hygiene and doc-integrity lints over this source
+//!   tree itself.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub use anet_advice as advice;
+pub use anet_analysis as analysis;
 pub use anet_conformance as conformance;
 pub use anet_election as election;
 pub use anet_families as families;
