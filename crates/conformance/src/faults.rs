@@ -1,0 +1,455 @@
+//! The `survivors` analysis: certified behaviour under adversity.
+//!
+//! For every corpus instance, five adversarial **fault dimensions** rerun
+//! the minimum-time election through the fault-injecting engine
+//! ([`anet_sim::AdvRunner`]) with the `COM` exchange carried by the
+//! matching [`ExecutionModel`], and classify the outcome:
+//!
+//! | dimension | adversary | model | expected class |
+//! |---|---|---|---|
+//! | `phase_skew` | permuted per-round phase order | raw | outcome-identical |
+//! | `drop_retransmit` | bounded message drops | reliable links | degraded-but-correct |
+//! | `edge_churn` | bounded edge outages | reliable links | degraded-but-correct |
+//! | `crash_recover` | crash + restart-from-init | restartable | degraded-but-correct |
+//! | `crash_stop` | crash, never returns | restartable | correctly-refused |
+//!
+//! *Outcome-identical* means byte-equal outputs, time and message
+//! statistics against the clean run; *degraded-but-correct* means the same
+//! leader and the same per-node outputs, merely later and chattier;
+//! *correctly-refused* means the run fails loudly
+//! ([`ElectionError::NodeDidNotHalt`]) instead of electing anyone. A
+//! dimension observing a class other than (or worse than) its expected one
+//! is a recorded violation. On infeasible instances every dimension must
+//! refuse — advice that cannot exist can certainly not survive faults.
+//!
+//! All fault decisions derive from the corpus seed through the same mixer
+//! the corpus uses, so fault reports are byte-deterministic per
+//! `(seed, max_n)` — across runs, machines and thread counts (the runs
+//! here are sequential per instance; corpus-level workers only distribute
+//! whole instances).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use anet_election::{ElectionError, ExecutionModel, Instance};
+use anet_graph::Graph;
+use anet_sim::{CrashEvent, CrashSemantics, FaultPlan};
+
+use crate::corpus::{build_corpus, mix, CorpusSpec};
+
+/// Drop/churn probability numerator (out of 256) the lossy dimensions use.
+const FAULT_RATE: u8 = 120;
+/// Forced-delivery window of the lossy dimensions (bounds every burst).
+const FAULT_WINDOW: usize = 4;
+
+/// How an adversarial run relates to the clean one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Byte-identical outputs, election time and message statistics.
+    OutcomeIdentical,
+    /// Same leader and same per-node outputs; more rounds and/or messages.
+    DegradedButCorrect,
+    /// The run failed loudly instead of electing anyone.
+    CorrectlyRefused,
+}
+
+impl FaultClass {
+    /// The snake_case JSON name of the class.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultClass::OutcomeIdentical => "outcome_identical",
+            FaultClass::DegradedButCorrect => "degraded_but_correct",
+            FaultClass::CorrectlyRefused => "correctly_refused",
+        }
+    }
+}
+
+/// One certified fault dimension of one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Dimension name (`phase_skew`, `drop_retransmit`, `edge_churn`,
+    /// `crash_recover`, `crash_stop`).
+    pub dimension: &'static str,
+    /// Execution model carrying the exchange (`raw`, `reliable_links`,
+    /// `restartable`).
+    pub model: &'static str,
+    /// The class certification expects on this instance.
+    pub expected: FaultClass,
+    /// The class the run actually exhibited.
+    pub observed: FaultClass,
+    /// Physical rounds until every node halted, when the run completed.
+    pub time: Option<usize>,
+    /// Messages delivered, when the run completed.
+    pub messages: Option<usize>,
+}
+
+/// The fault-dimension report of one corpus instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Instance name (from the corpus).
+    pub name: String,
+    /// Generator class (from the corpus).
+    pub kind: &'static str,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Whether the instance is feasible.
+    pub feasible: bool,
+    /// The election index, when feasible.
+    pub phi: Option<usize>,
+    /// One record per fault dimension.
+    pub records: Vec<FaultRecord>,
+    /// Human-readable descriptions of every violated check (empty =
+    /// certified).
+    pub violations: Vec<String>,
+}
+
+impl FaultReport {
+    /// Whether every dimension behaved as certified.
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate counts over a fault-corpus run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Instances checked.
+    pub total: usize,
+    /// Instances with zero violations.
+    pub certified: usize,
+    /// Fault dimensions observed outcome-identical.
+    pub outcome_identical: usize,
+    /// Fault dimensions observed degraded-but-correct.
+    pub degraded_but_correct: usize,
+    /// Fault dimensions observed correctly-refused.
+    pub correctly_refused: usize,
+    /// Total violation count across all instances.
+    pub violations: usize,
+}
+
+impl FaultSummary {
+    /// Folds a slice of reports into totals.
+    pub fn of(reports: &[FaultReport]) -> FaultSummary {
+        let mut s = FaultSummary {
+            total: reports.len(),
+            ..FaultSummary::default()
+        };
+        for r in reports {
+            s.violations += r.violations.len();
+            if r.certified() {
+                s.certified += 1;
+            }
+            for rec in &r.records {
+                match rec.observed {
+                    FaultClass::OutcomeIdentical => s.outcome_identical += 1,
+                    FaultClass::DegradedButCorrect => s.degraded_but_correct += 1,
+                    FaultClass::CorrectlyRefused => s.correctly_refused += 1,
+                }
+            }
+        }
+        s
+    }
+}
+
+/// The JSON name of an execution model.
+fn model_name(model: ExecutionModel) -> &'static str {
+    match model {
+        ExecutionModel::Raw => "raw",
+        ExecutionModel::ReliableLinks => "reliable_links",
+        ExecutionModel::Restartable => "restartable",
+    }
+}
+
+/// The five (dimension, model, plan, expected class) tuples for an
+/// `n`-node instance, all randomness derived from `seed`.
+fn dimensions(
+    seed: u64,
+    n: usize,
+    phi: Option<usize>,
+) -> Vec<(&'static str, ExecutionModel, FaultPlan, FaultClass)> {
+    // Crash a seed-chosen node early enough that it cannot have halted yet
+    // (the minimum-time algorithm halts no earlier than round φ - 1), so a
+    // crash-stop run provably cannot complete.
+    let crash_node = (mix(seed, 0xC9A5) % n.max(1) as u64) as usize;
+    let crash_at = match phi {
+        Some(p) if p >= 2 => 1,
+        _ => 0,
+    };
+    vec![
+        (
+            "phase_skew",
+            ExecutionModel::Raw,
+            FaultPlan::phase_skew(mix(seed, 1)),
+            FaultClass::OutcomeIdentical,
+        ),
+        (
+            "drop_retransmit",
+            ExecutionModel::ReliableLinks,
+            FaultPlan::message_drops(mix(seed, 2), FAULT_RATE, FAULT_WINDOW),
+            FaultClass::DegradedButCorrect,
+        ),
+        (
+            "edge_churn",
+            ExecutionModel::ReliableLinks,
+            FaultPlan::edge_churn(mix(seed, 3), FAULT_RATE, FAULT_WINDOW),
+            FaultClass::DegradedButCorrect,
+        ),
+        (
+            "crash_recover",
+            ExecutionModel::Restartable,
+            FaultPlan::crashing(
+                mix(seed, 4),
+                CrashSemantics::RestartFromInit,
+                vec![CrashEvent {
+                    node: crash_node,
+                    at: crash_at,
+                    recover_at: Some(crash_at + 2),
+                }],
+            ),
+            FaultClass::DegradedButCorrect,
+        ),
+        (
+            "crash_stop",
+            ExecutionModel::Restartable,
+            FaultPlan::crashing(
+                mix(seed, 5),
+                CrashSemantics::Stop,
+                vec![CrashEvent {
+                    node: crash_node,
+                    at: crash_at,
+                    recover_at: None,
+                }],
+            ),
+            FaultClass::CorrectlyRefused,
+        ),
+    ]
+}
+
+/// Runs every fault dimension of `inst` (all randomness derived from
+/// `seed`), classifying each run against the clean baseline and appending
+/// any certification failure to `violations`.
+pub fn fault_records(
+    inst: &Instance<'_>,
+    seed: u64,
+    violations: &mut Vec<String>,
+) -> Vec<FaultRecord> {
+    let g = inst.graph();
+    let feasible = inst.is_feasible();
+    let phi = inst.phi().ok();
+
+    // The clean baseline every completing adversarial run is compared to.
+    let clean = if feasible {
+        match inst.elect_under(&FaultPlan::none(), ExecutionModel::Raw, 1) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                violations.push(format!("faults: clean baseline run failed: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    dimensions(seed, g.num_nodes(), phi)
+        .into_iter()
+        .map(|(dimension, model, plan, mut expected)| {
+            if !feasible {
+                // No advice exists; every model must refuse.
+                expected = FaultClass::CorrectlyRefused;
+            }
+            let (observed, time, messages) = match inst.elect_under(&plan, model, 1) {
+                Ok(out) => {
+                    let observed = match &clean {
+                        Some(c) if out.leader == c.leader && out.outputs == c.outputs => {
+                            if out.time == c.time && out.stats == c.stats {
+                                FaultClass::OutcomeIdentical
+                            } else {
+                                FaultClass::DegradedButCorrect
+                            }
+                        }
+                        Some(c) => {
+                            violations.push(format!(
+                                "{dimension}: completed with a different outcome \
+                                 (leader {} vs clean {})",
+                                out.leader, c.leader
+                            ));
+                            FaultClass::DegradedButCorrect
+                        }
+                        None => {
+                            violations
+                                .push(format!("{dimension}: completed without a clean baseline"));
+                            FaultClass::DegradedButCorrect
+                        }
+                    };
+                    (observed, Some(out.time), Some(out.stats.messages))
+                }
+                Err(ElectionError::NodeDidNotHalt { .. }) | Err(ElectionError::Infeasible) => {
+                    (FaultClass::CorrectlyRefused, None, None)
+                }
+                Err(e) => {
+                    violations.push(format!("{dimension}: failed unexpectedly: {e}"));
+                    (FaultClass::CorrectlyRefused, None, None)
+                }
+            };
+            // A dimension may do *better* than expected (a lossy adversary
+            // that happened to change nothing) but never worse.
+            let acceptable = match expected {
+                FaultClass::OutcomeIdentical => observed == FaultClass::OutcomeIdentical,
+                FaultClass::DegradedButCorrect => observed != FaultClass::CorrectlyRefused,
+                FaultClass::CorrectlyRefused => observed == FaultClass::CorrectlyRefused,
+            };
+            if !acceptable {
+                violations.push(format!(
+                    "{dimension}: observed {}, expected {}",
+                    observed.as_str(),
+                    expected.as_str()
+                ));
+            }
+            FaultRecord {
+                dimension,
+                model: model_name(model),
+                expected,
+                observed,
+                time,
+                messages,
+            }
+        })
+        .collect()
+}
+
+/// Certifies the fault dimensions of one graph (a fresh [`Instance`];
+/// `seed` drives every fault decision).
+pub fn check_faults(name: &str, kind: &'static str, g: &Graph, seed: u64) -> FaultReport {
+    let inst = Instance::new(g);
+    let mut violations = Vec::new();
+    let records = fault_records(&inst, seed, &mut violations);
+    let feasibility = inst.feasibility();
+    FaultReport {
+        name: name.to_string(),
+        kind,
+        n: g.num_nodes(),
+        m: g.num_edges(),
+        feasible: feasibility.feasible,
+        phi: feasibility.election_index,
+        records,
+        violations,
+    }
+}
+
+/// Runs the fault certification over the full corpus of `spec` with up to
+/// `threads` `std::thread::scope` workers (instances are independent; the
+/// report order is the corpus order regardless of the thread count).
+pub fn run_faults_corpus(spec: &CorpusSpec, threads: usize) -> Vec<FaultReport> {
+    let instances = build_corpus(spec);
+    let workers = threads.clamp(1, instances.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: parking_lot::Mutex<Vec<Option<FaultReport>>> =
+        parking_lot::Mutex::new((0..instances.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(inst) = instances.get(i) else { break };
+                let seed = mix(spec.seed, 0xFA_0000 + i as u64);
+                let report = check_faults(&inst.name, inst.kind, &inst.graph, seed);
+                slots.lock()[i] = Some(report);
+            });
+        }
+    });
+    let reports: Vec<FaultReport> = slots.into_inner().into_iter().flatten().collect();
+    assert_eq!(
+        reports.len(),
+        instances.len(),
+        "every corpus instance produces a fault report"
+    );
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn feasible_staple_certifies_all_five_dimensions() {
+        let g = generators::lollipop(5, 4);
+        let report = check_faults("lollipop(5,4)", "random", &g, 17);
+        assert!(report.certified(), "{:?}", report.violations);
+        assert_eq!(report.records.len(), 5);
+        let by_dim = |d: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.dimension == d)
+                .map(|r| r.observed)
+        };
+        assert_eq!(by_dim("phase_skew"), Some(FaultClass::OutcomeIdentical));
+        assert_eq!(
+            by_dim("drop_retransmit"),
+            Some(FaultClass::DegradedButCorrect)
+        );
+        assert_eq!(by_dim("edge_churn"), Some(FaultClass::DegradedButCorrect));
+        assert_eq!(
+            by_dim("crash_recover"),
+            Some(FaultClass::DegradedButCorrect)
+        );
+        assert_eq!(by_dim("crash_stop"), Some(FaultClass::CorrectlyRefused));
+    }
+
+    #[test]
+    fn infeasible_instances_refuse_every_dimension() {
+        let g = generators::ring(6);
+        let report = check_faults("ring(6)", "symmetric", &g, 3);
+        assert!(report.certified(), "{:?}", report.violations);
+        assert!(!report.feasible);
+        assert_eq!(report.records.len(), 5);
+        for rec in &report.records {
+            assert_eq!(
+                rec.observed,
+                FaultClass::CorrectlyRefused,
+                "{}",
+                rec.dimension
+            );
+            assert_eq!(
+                rec.expected,
+                FaultClass::CorrectlyRefused,
+                "{}",
+                rec.dimension
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_dimensions_cost_strictly_more_time() {
+        let g = generators::caterpillar(5);
+        let report = check_faults("caterpillar(5)", "random", &g, 23);
+        assert!(report.certified(), "{:?}", report.violations);
+        let skew = &report.records[0];
+        for rec in &report.records {
+            if rec.observed == FaultClass::DegradedButCorrect {
+                assert!(
+                    rec.time > skew.time,
+                    "{}: {:?} vs clean {:?}",
+                    rec.dimension,
+                    rec.time,
+                    skew.time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_corpus_is_deterministic_across_thread_counts() {
+        let spec = CorpusSpec { seed: 9, max_n: 16 };
+        let seq = run_faults_corpus(&spec, 1);
+        let par = run_faults_corpus(&spec, 4);
+        assert_eq!(seq, par);
+        assert!(!seq.is_empty());
+        let summary = FaultSummary::of(&seq);
+        assert_eq!(summary.violations, 0, "{seq:?}");
+        assert_eq!(summary.certified, summary.total);
+    }
+}

@@ -19,7 +19,11 @@
 //! * on infeasible instances every scheme refuses, and infeasibility (with
 //!   the same view-quotient size) is preserved by renumbering;
 //! * the session caches compute the expensive analysis exactly once across
-//!   the suite ([`Instance::compute_counts`]).
+//!   the suite ([`Instance::compute_counts`]);
+//! * every fault dimension of the [`faults`](crate::faults) analysis
+//!   behaves as certified (outcome-identical under phase skew,
+//!   degraded-but-correct under absorbable loss and crash/recovery,
+//!   correctly-refused under crash-stop and on infeasible instances).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -28,6 +32,7 @@ use anet_graph::{relabel, Graph};
 use anet_views::election_index;
 
 use crate::corpus::{build_corpus, mix, CorpusSpec};
+use crate::faults::{fault_records, FaultRecord};
 
 /// One scheme run on one instance, as recorded in the conformance report
 /// (no wall-clock fields: reports are byte-deterministic per seed).
@@ -73,6 +78,9 @@ pub struct InstanceReport {
     /// Whether every scheme behaved identically (leader modulo the
     /// permutation, same time, same advice bits) on the renumbered copy.
     pub equivariant: bool,
+    /// Certified fault dimensions (the [`faults`](crate::faults)
+    /// analysis), one record per dimension.
+    pub faults: Vec<FaultRecord>,
     /// Human-readable descriptions of every violated check (empty =
     /// certified).
     pub violations: Vec<String>,
@@ -276,6 +284,11 @@ pub fn check_graph(name: &str, kind: &'static str, g: &Graph, perm_seed: u64) ->
         }
     }
 
+    // Fault dimensions ride on the same cached analysis and advice — they
+    // run after the compute-count check so they cannot mask a cache miss
+    // in the scheme suite (all their analysis accesses are memoized hits).
+    let faults = fault_records(&inst, mix(perm_seed, 0xFA_0000), &mut violations);
+
     InstanceReport {
         name: name.to_string(),
         kind,
@@ -288,6 +301,7 @@ pub fn check_graph(name: &str, kind: &'static str, g: &Graph, perm_seed: u64) ->
         stable_depth: cached.stable_depth,
         schemes,
         equivariant,
+        faults,
         violations,
     }
 }
@@ -336,6 +350,7 @@ mod tests {
         assert!(report.equivariant);
         assert_eq!(report.schemes[0].scheme, "min_time");
         assert_eq!(Some(report.schemes[0].time), report.phi);
+        assert_eq!(report.faults.len(), 5, "five certified fault dimensions");
     }
 
     #[test]
@@ -347,6 +362,10 @@ mod tests {
         assert!(report.schemes.is_empty());
         assert!(report.equivariant);
         assert_eq!(report.distinct_views, 1);
+        assert!(report
+            .faults
+            .iter()
+            .all(|f| f.observed == crate::faults::FaultClass::CorrectlyRefused));
     }
 
     #[test]

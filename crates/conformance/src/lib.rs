@@ -27,24 +27,37 @@
 //!   corresponding leader with identical time and advice bits. Infeasible
 //!   instances must be refused by every scheme, and the cached analysis must
 //!   agree with the free view-class analysis.
-//! * [`json`] — deterministic JSON emission (`BENCH_corpus.json` at the
-//!   repository root; no wall-clock fields, so re-runs with the same seed
-//!   are byte-identical).
+//! * [`faults`] — the **survivors analysis**: every instance re-elected
+//!   through the fault-injecting engine of `anet_sim`
+//!   ([`Instance::elect_under`](anet_election::Instance::elect_under))
+//!   under five adversarial dimensions (phase skew, message drops, edge
+//!   churn, crash/recovery, crash-stop), each certified as
+//!   outcome-identical, degraded-but-correct or correctly-refused.
+//! * [`json`] — deterministic JSON emission (`BENCH_corpus.json` and
+//!   `BENCH_faults.json` at the repository root; no wall-clock fields, so
+//!   re-runs with the same seed are byte-identical).
 //!
-//! The `report corpus` subcommand of `anet-bench` drives all of this from
-//! the command line:
+//! The `report corpus` and `report faults` subcommands of `anet-bench`
+//! drive all of this from the command line:
 //!
 //! ```text
 //! cargo run --release -p anet-bench --bin report -- corpus \
 //!     --seed 7 --max-n 600 --threads 4 --json BENCH_corpus.json
+//! cargo run --release -p anet-bench --bin report -- faults \
+//!     --seed 7 --max-n 600 --threads 4 --json BENCH_faults.json
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod faults;
 pub mod harness;
 pub mod json;
 
 pub use corpus::{build_corpus, CorpusInstance, CorpusSpec};
+pub use faults::{
+    check_faults, fault_records, run_faults_corpus, FaultClass, FaultRecord, FaultReport,
+    FaultSummary,
+};
 pub use harness::{check_graph, run_corpus, InstanceReport, SchemeRecord, Summary};

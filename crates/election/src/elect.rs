@@ -181,24 +181,50 @@ pub fn simulate_election_in(
             acquired.lock()[slot] = Some(view);
             PortPath::empty()
         })
-    });
+    })?;
     let time = outcome
         .election_time()
         .ok_or_else(|| first_unhalted(&outcome.outputs))?;
 
     // Phase 2: the purely local output computation (shared across nodes;
     // see the module docs for why this does not change any node's output).
+    let ids = collect_deposits(&acquired.lock())?;
     let mut arena = arena.lock();
-    let ids: Vec<ViewId> = acquired
-        .lock()
+    let outputs = outputs_from_view_ids(&decoded, &mut arena, &ids)?;
+    Ok(Simulation {
+        outputs,
+        time,
+        stats: outcome.stats,
+        distinct_views: arena.len(),
+    })
+}
+
+/// Collects the per-node view ids a `COM` run deposited, erroring on any
+/// node that halted without depositing (impossible through [`ComNode`]'s
+/// callback, but the error path keeps the pipeline panic-free).
+pub(crate) fn collect_deposits(deposited: &[Option<ViewId>]) -> Result<Vec<ViewId>, ElectionError> {
+    deposited
         .iter()
-        .map(|v| v.expect("halted nodes deposited their views"))
-        .collect();
+        .enumerate()
+        .map(|(node, v)| v.ok_or(ElectionError::NodeDidNotHalt { node }))
+        .collect()
+}
+
+/// The purely local tail of Algorithm `Elect`, shared across nodes: label
+/// every acquired `B^φ(u)` and emit its tree path to the leader. Used by
+/// both the clean pipeline and the adversarial one
+/// ([`crate::adversity`]) — the acquired views determine the outputs, no
+/// matter which execution model delivered them.
+pub(crate) fn outputs_from_view_ids(
+    decoded: &DecodedAdvice,
+    arena: &mut ViewArena,
+    ids: &[ViewId],
+) -> Result<Vec<PortPath>, ElectionError> {
     let mut memo = LabelMemo::new();
     let parents = decoded.tree.parent_map();
-    let mut outputs = Vec::with_capacity(g.num_nodes());
-    for &id in &ids {
-        let x = retrieve_label_arena(&mut arena, id, &decoded.e1, &decoded.e2, &mut memo);
+    let mut outputs = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let x = retrieve_label_arena(arena, id, &decoded.e1, &decoded.e2, &mut memo);
         // O(path length) walk through the pre-indexed parent relation,
         // identical to LabeledTree::path_to_root.
         let flat: Vec<usize> = decoded
@@ -217,20 +243,12 @@ pub fn simulate_election_in(
                 .ok_or_else(|| ElectionError::MalformedAdvice("odd-length tree path".into()))?,
         );
     }
-    Ok(Simulation {
-        outputs,
-        time,
-        stats: outcome.stats,
-        distinct_views: arena.len(),
-    })
+    Ok(outputs)
 }
 
 /// The error naming the first node that failed to halt.
-fn first_unhalted(outputs: &[Option<PortPath>]) -> ElectionError {
-    let node = outputs
-        .iter()
-        .position(Option::is_none)
-        .expect("called only when some node did not halt");
+pub(crate) fn first_unhalted(outputs: &[Option<PortPath>]) -> ElectionError {
+    let node = outputs.iter().position(Option::is_none).unwrap_or(0);
     ElectionError::NodeDidNotHalt { node }
 }
 

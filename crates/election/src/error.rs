@@ -24,6 +24,9 @@ pub enum ElectionError {
         /// The simulator-level identifier of the node (harness bookkeeping).
         node: usize,
     },
+    /// The LOCAL simulator rejected the run (an engine-contract violation
+    /// such as a wrong send arity).
+    Simulator(anet_sim::SimError),
     /// A node's output is not a simple path in the graph.
     OutputNotSimplePath {
         /// The simulator-level identifier of the node.
@@ -59,6 +62,7 @@ impl fmt::Display for ElectionError {
             ElectionError::NodeDidNotHalt { node } => {
                 write!(f, "node {node} did not halt within the allotted rounds")
             }
+            ElectionError::Simulator(e) => write!(f, "simulator rejected the run: {e}"),
             ElectionError::OutputNotSimplePath { node } => {
                 write!(f, "output of node {node} is not a simple path")
             }
@@ -76,6 +80,12 @@ impl fmt::Display for ElectionError {
 }
 
 impl std::error::Error for ElectionError {}
+
+impl From<anet_sim::SimError> for ElectionError {
+    fn from(e: anet_sim::SimError) -> Self {
+        ElectionError::Simulator(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -47,6 +47,15 @@
 //!   [`generic_elect_all`], [`election_milestone`], [`remark_elect_all`])
 //!   remain as thin one-shot compatibility wrappers.
 //!
+//! ## Election under adversity
+//!
+//! * [`adversity`] — [`Instance::elect_under`]: the minimum-time election
+//!   replayed through the fault-injecting engine of `anet_sim` under a
+//!   [`FaultPlan`](anet_sim::FaultPlan), with the `COM` exchange carried
+//!   raw or by a reliability wrapper ([`ExecutionModel`]). Completing
+//!   implies electing the clean leader; an unabsorbable adversary is
+//!   refused, never answered wrongly.
+//!
 //! ## Support
 //!
 //! * [`encoding`] — the paper-exact binary code `bin(B^1(v))`
@@ -61,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversity;
 pub mod advice_build;
 pub mod baselines;
 pub mod elect;
@@ -75,6 +85,7 @@ pub mod remark;
 pub mod scheme;
 pub mod verify;
 
+pub use adversity::{AdversityOutcome, ExecutionModel};
 pub use advice_build::{compute_advice, Advice};
 pub use elect::{elect_all, simulate_election, ElectionOutcome, Simulation};
 pub use error::ElectionError;

@@ -1,0 +1,391 @@
+//! The adversarial round engine.
+//!
+//! [`AdvRunner`] generalizes [`SyncRunner`](crate::SyncRunner): each round
+//! it consults a [`FaultPlan`] for crash/recover events, per-port message
+//! drops, edge churn (through a [`DynamicGraph`] view) and phase skew, and
+//! otherwise executes the same three synchronous phases. Under
+//! [`FaultPlan::none`] its transcript is bit-identical to the sequential
+//! engine's (stats, outputs, halt rounds — property-tested), so everything
+//! certified about the clean engines transfers.
+//!
+//! Fault semantics:
+//!
+//! * A node crashed at the start of a round neither sends nor receives;
+//!   messages addressed to it are lost (and not counted in the stats). A
+//!   crash targeting an already-halted node is ignored — its output is
+//!   already irrevocable in the LOCAL model.
+//! * Under [`CrashSemantics::RestartFromInit`], a recovering node is
+//!   re-created by the run's factory and `init` is re-run: volatile state
+//!   is lost, while whatever the factory closes over (the advice — stable
+//!   storage) is replayed. Under [`CrashSemantics::Stop`] recoveries are
+//!   ignored.
+//! * Dropped or churned-away messages are silently lost; the engine makes
+//!   no attempt at retransmission. Reliability is layered *above* the
+//!   engine by wrapping node algorithms ([`ReliableLink`],
+//!   [`Restartable`]) — exactly as in real networks.
+//! * Phase skew permutes the order the sequential engine processes nodes
+//!   within each phase. Phases are independent per node, so this must be
+//!   observationally invisible; with worker threads the chunked natural
+//!   order is used (the transcript is identical either way, which the
+//!   conformance harness asserts).
+//!
+//! [`CrashSemantics::RestartFromInit`]: crate::fault::CrashSemantics::RestartFromInit
+//! [`CrashSemantics::Stop`]: crate::fault::CrashSemantics::Stop
+//! [`ReliableLink`]: crate::link::ReliableLink
+//! [`Restartable`]: crate::restart::Restartable
+
+use anet_graph::{Graph, PortPath};
+
+use crate::dynamic::DynamicGraph;
+use crate::error::SimError;
+use crate::fault::{CrashSemantics, FaultPlan};
+use crate::runner::{NodeAlgorithm, RunOutcome, RunStats};
+
+/// The fault-injecting executor of the synchronous LOCAL model.
+pub struct AdvRunner<'g> {
+    graph: &'g Graph,
+    max_rounds: usize,
+    num_threads: usize,
+}
+
+impl<'g> AdvRunner<'g> {
+    /// Creates a sequential adversarial runner over `graph`, aborting after
+    /// `max_rounds` rounds.
+    pub fn new(graph: &'g Graph, max_rounds: usize) -> Self {
+        AdvRunner {
+            graph,
+            max_rounds,
+            num_threads: 1,
+        }
+    }
+
+    /// As [`new`](Self::new), with the send/receive phases chunked over
+    /// `num_threads` scoped worker threads (clamped to at least 1).
+    pub fn with_threads(graph: &'g Graph, max_rounds: usize, num_threads: usize) -> Self {
+        AdvRunner {
+            graph,
+            max_rounds,
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Runs one node algorithm instance per node under the adversary
+    /// `plan`. The factory receives a dense slot index (the node id, which
+    /// is harness bookkeeping — not information leaked to the algorithm)
+    /// and the node's degree; it is re-invoked when a crashed node recovers
+    /// under restart semantics.
+    pub fn run<A, F>(&self, plan: &FaultPlan, mut factory: F) -> Result<RunOutcome, SimError>
+    where
+        A: NodeAlgorithm + Send,
+        A::Message: Send,
+        F: FnMut(usize, usize) -> A,
+    {
+        let g = self.graph;
+        let n = g.num_nodes();
+        let dynamic = DynamicGraph::new(g, plan);
+        let mut nodes: Vec<Option<A>> = (0..n)
+            .map(|v| {
+                let mut a = factory(v, g.degree(v));
+                a.init(g.degree(v));
+                Some(a)
+            })
+            .collect();
+        let mut outputs: Vec<Option<PortPath>> = vec![None; n];
+        let mut halt_round: Vec<Option<usize>> = vec![None; n];
+        let mut stats = RunStats::default();
+        let chunk = n.div_ceil(self.num_threads).max(1);
+
+        for round in 0..self.max_rounds {
+            // Adversary events take effect at the round boundary.
+            for v in plan.crashes_at(round) {
+                if v < n && outputs[v].is_none() {
+                    nodes[v] = None;
+                }
+            }
+            if plan.semantics == CrashSemantics::RestartFromInit {
+                for v in plan.recoveries_at(round) {
+                    if v < n && outputs[v].is_none() && nodes[v].is_none() {
+                        let mut a = factory(v, g.degree(v));
+                        a.init(g.degree(v));
+                        nodes[v] = Some(a);
+                    }
+                }
+            }
+            if outputs.iter().all(Option::is_some) {
+                break;
+            }
+            stats.rounds += 1;
+            let halted: Vec<bool> = outputs.iter().map(Option::is_some).collect();
+
+            // Phase 1: active, live nodes produce their outgoing messages.
+            let mut outgoing: Vec<Option<Vec<Option<A::Message>>>> = vec![None; n];
+            if self.num_threads == 1 {
+                for v in plan.phase_order(round, n) {
+                    if halted[v] {
+                        continue;
+                    }
+                    if let Some(node) = nodes[v].as_mut() {
+                        outgoing[v] = Some(node.send(round));
+                    }
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    let halted = &halted;
+                    for (chunk_idx, (node_chunk, out_chunk)) in nodes
+                        .chunks_mut(chunk)
+                        .zip(outgoing.chunks_mut(chunk))
+                        .enumerate()
+                    {
+                        scope.spawn(move || {
+                            let base = chunk_idx * chunk;
+                            for (off, (node, slot)) in
+                                node_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                            {
+                                let v = base + off;
+                                if halted[v] {
+                                    continue;
+                                }
+                                if let Some(node) = node.as_mut() {
+                                    *slot = Some(node.send(round));
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+
+            // Phase 2: routing, filtered by the adversary (sequential, in
+            // node order, so stats and first-offender errors are
+            // deterministic regardless of skew and thread count).
+            let mut incoming: Vec<Vec<Option<A::Message>>> =
+                (0..n).map(|v| vec![None; g.degree(v)]).collect();
+            for (v, slot) in outgoing.iter_mut().enumerate() {
+                let Some(msgs) = slot.take() else { continue };
+                if msgs.len() != g.degree(v) {
+                    return Err(SimError::BadSendArity {
+                        node: v,
+                        got: msgs.len(),
+                        want: g.degree(v),
+                    });
+                }
+                for (p, msg) in msgs.into_iter().enumerate() {
+                    let Some(msg) = msg else { continue };
+                    let (u, q) = g.neighbor(v, p);
+                    if nodes[u].is_none() {
+                        continue; // receiver crashed: message lost
+                    }
+                    if !dynamic.edge_up(round, v, p) {
+                        continue; // edge churned away for this round
+                    }
+                    if plan.drops_message(round, v, p) {
+                        continue; // adversarial drop
+                    }
+                    stats.messages += 1;
+                    stats.message_words += A::message_size_words(&msg);
+                    incoming[u][q] = Some(msg);
+                }
+            }
+
+            // Phase 3: active, live nodes receive and may halt.
+            if self.num_threads == 1 {
+                for v in plan.phase_order(round, n) {
+                    if halted[v] {
+                        continue;
+                    }
+                    let inbox = std::mem::take(&mut incoming[v]);
+                    if let Some(node) = nodes[v].as_mut() {
+                        if let Some(path) = node.receive(round, inbox) {
+                            outputs[v] = Some(path);
+                            halt_round[v] = Some(round);
+                        }
+                    }
+                }
+            } else {
+                let mut decisions: Vec<Option<PortPath>> = vec![None; n];
+                std::thread::scope(|scope| {
+                    let halted = &halted;
+                    for (chunk_idx, ((node_chunk, in_chunk), dec_chunk)) in nodes
+                        .chunks_mut(chunk)
+                        .zip(incoming.chunks_mut(chunk))
+                        .zip(decisions.chunks_mut(chunk))
+                        .enumerate()
+                    {
+                        scope.spawn(move || {
+                            let base = chunk_idx * chunk;
+                            for (off, ((node, inbox), dec)) in node_chunk
+                                .iter_mut()
+                                .zip(in_chunk.iter_mut())
+                                .zip(dec_chunk.iter_mut())
+                                .enumerate()
+                            {
+                                let v = base + off;
+                                if halted[v] {
+                                    continue;
+                                }
+                                if let Some(node) = node.as_mut() {
+                                    *dec = node.receive(round, std::mem::take(inbox));
+                                }
+                            }
+                        });
+                    }
+                });
+                for (v, dec) in decisions.into_iter().enumerate() {
+                    if let Some(path) = dec {
+                        outputs[v] = Some(path);
+                        halt_round[v] = Some(round);
+                    }
+                }
+            }
+        }
+
+        Ok(RunOutcome {
+            outputs,
+            halt_round,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::com::{ComNode, SharedViewArena};
+    use crate::fault::CrashEvent;
+    use crate::runner::SyncRunner;
+    use anet_graph::generators;
+    use anet_views::ViewArena;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn com_outcome_sync(g: &anet_graph::Graph, depth: usize) -> RunOutcome {
+        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        SyncRunner::new(g, depth + 1)
+            .run(|_| ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty()))
+            .unwrap()
+    }
+
+    fn com_outcome_adv(
+        g: &anet_graph::Graph,
+        depth: usize,
+        max_rounds: usize,
+        plan: &FaultPlan,
+        threads: usize,
+    ) -> RunOutcome {
+        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        AdvRunner::with_threads(g, max_rounds, threads)
+            .run(plan, |_slot, _deg| {
+                ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty())
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_transcript_matches_sync_runner() {
+        let graphs = [
+            generators::lollipop(5, 4),
+            generators::torus(3, 4),
+            generators::caterpillar(5),
+        ];
+        for g in &graphs {
+            let depth = 3;
+            let sync = com_outcome_sync(g, depth);
+            for threads in [1, 2, 4] {
+                let adv = com_outcome_adv(g, depth, depth + 1, &FaultPlan::none(), threads);
+                assert_eq!(sync.outputs, adv.outputs);
+                assert_eq!(sync.halt_round, adv.halt_round);
+                assert_eq!(sync.stats, adv.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_skew_is_observationally_invisible() {
+        let g = generators::torus(3, 4);
+        let depth = 3;
+        let sync = com_outcome_sync(&g, depth);
+        for seed in [1u64, 99, 4242] {
+            let skew = com_outcome_adv(&g, depth, depth + 1, &FaultPlan::phase_skew(seed), 1);
+            assert_eq!(sync.outputs, skew.outputs);
+            assert_eq!(sync.halt_round, skew.halt_round);
+            assert_eq!(sync.stats, skew.stats);
+        }
+    }
+
+    #[test]
+    fn crash_stop_starves_neighbors_without_panicking() {
+        let g = generators::ring(6);
+        let plan = FaultPlan::crashing(
+            0,
+            CrashSemantics::Stop,
+            vec![CrashEvent {
+                node: 2,
+                at: 1,
+                recover_at: Some(2), // ignored under Stop semantics
+            }],
+        );
+        let out = com_outcome_adv(&g, 3, 10, &plan, 1);
+        assert!(!out.all_halted(), "a silenced ring cannot finish COM(3)");
+        assert!(out.outputs[2].is_none());
+    }
+
+    #[test]
+    fn restart_recreates_the_instance_from_the_factory() {
+        let g = generators::ring(4);
+        let plan = FaultPlan::crashing(
+            0,
+            CrashSemantics::RestartFromInit,
+            vec![CrashEvent {
+                node: 1,
+                at: 1,
+                recover_at: Some(3),
+            }],
+        );
+        let built = Arc::new(Mutex::new(vec![0usize; g.num_nodes()]));
+        struct Idle {
+            degree: usize,
+        }
+        impl NodeAlgorithm for Idle {
+            type Message = ();
+            fn init(&mut self, d: usize) {
+                self.degree = d;
+            }
+            fn send(&mut self, _r: usize) -> Vec<Option<()>> {
+                vec![None; self.degree]
+            }
+            fn receive(&mut self, _r: usize, _m: Vec<Option<()>>) -> Option<PortPath> {
+                None
+            }
+        }
+        let out = AdvRunner::new(&g, 6)
+            .run(&plan, |slot, _deg| {
+                built.lock()[slot] += 1;
+                Idle { degree: 0 }
+            })
+            .unwrap();
+        assert!(!out.all_halted());
+        assert_eq!(built.lock()[1], 2, "node 1 rebuilt once on recovery");
+        assert_eq!(built.lock()[0], 1);
+    }
+
+    #[test]
+    fn drops_reduce_delivered_message_counts() {
+        let g = generators::clique(6);
+        let depth = 3;
+        let clean = com_outcome_adv(&g, depth, depth + 1, &FaultPlan::none(), 1);
+        // High drop rate, window longer than the run: most deliveries lost.
+        let lossy = com_outcome_adv(
+            &g,
+            depth,
+            depth + 1,
+            &FaultPlan::message_drops(5, 200, 64),
+            1,
+        );
+        assert!(lossy.stats.messages < clean.stats.messages);
+        assert!(!lossy.all_halted(), "raw COM stalls under loss");
+    }
+}

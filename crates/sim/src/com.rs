@@ -45,14 +45,26 @@
 //! use anet_sim::com::{exchange_view_ids, exchange_views_tree};
 //!
 //! let g = generators::lollipop(4, 3);
-//! let (arena, ids) = exchange_view_ids(&g, 2);
+//! let (arena, ids) = exchange_view_ids(&g, 2).unwrap();
 //! // The ids deposited by the message-passing run materialize to exactly
 //! // the views the tree-shipping oracle acquires.
-//! let oracle = exchange_views_tree(&g, 2);
+//! let oracle = exchange_views_tree(&g, 2).unwrap();
 //! for v in g.nodes() {
 //!     assert_eq!(arena.materialize(ids[v]), oracle[v]);
 //! }
 //! ```
+//!
+//! ## Behaviour under faults
+//!
+//! `COM` is specified for the clean synchronous model, where every neighbor
+//! sends in every round. When the adversarial engine withholds a message
+//! (crash, drop, churn), a `ComNode` cannot assemble a well-formed deeper
+//! view; it *stalls* — permanently stops advancing and never halts — rather
+//! than fabricating an output. A raw `COM` run under faults therefore
+//! fails loudly (the runner's round cap reports unhalted nodes), never
+//! wrongly; fault *tolerance* is layered on top by the
+//! [`ReliableLink`](crate::link::ReliableLink) and
+//! [`Restartable`](crate::restart::Restartable) wrappers.
 
 use std::sync::Arc;
 
@@ -60,6 +72,7 @@ use anet_graph::{Graph, PortPath};
 use anet_views::{AugmentedView, ViewArena, ViewId};
 use parking_lot::Mutex;
 
+use crate::error::SimError;
 use crate::runner::{NodeAlgorithm, SyncRunner};
 
 /// The view arena shared by all node instances of one `COM` run.
@@ -90,6 +103,9 @@ where
     target_depth: usize,
     /// The current view `B^i(u)`; `B^0(u)` right after `init`.
     current: Option<ViewId>,
+    /// Set when a round was missing a neighbor's message: the node can no
+    /// longer assemble well-formed views and refuses to ever halt.
+    stalled: bool,
     /// What to do with `B^target_depth(u)` once acquired.
     finish: F,
 }
@@ -106,6 +122,7 @@ where
             degree: 0,
             target_depth,
             current: None,
+            stalled: false,
             finish,
         }
     }
@@ -129,7 +146,18 @@ where
     }
 
     fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
-        let view = self.current.expect("initialized");
+        if self.stalled {
+            // A stalled node's view stopped deepening; re-sending it would
+            // let neighbors assemble mixed-depth (i.e. fabricated) views.
+            // Going silent propagates the stall instead, so a faulty run
+            // can only under-deliver, never mis-deliver.
+            return vec![None; self.degree];
+        }
+        let Some(view) = self.current else {
+            // Unreachable through the runners (init always precedes send);
+            // a well-formed all-silent round keeps the engine contract.
+            return vec![None; self.degree];
+        };
         (0..self.degree)
             .map(|p| {
                 Some(ViewMessage {
@@ -141,22 +169,30 @@ where
     }
 
     fn receive(&mut self, round: usize, incoming: Vec<Option<ViewMessage>>) -> Option<PortPath> {
+        if self.stalled {
+            return None;
+        }
         let mut arena = self.arena.lock();
         if self.target_depth == 0 {
             // No communication needed: B^0 is known locally.
-            let view = self.current.expect("initialized");
+            let view = self.current?;
             return Some((self.finish)(&mut arena, view));
         }
         // Assemble B^{round+1}(u) from the B^{round}(neighbor)s received in
         // port order; the child on port p records the neighbor's port of the
         // connecting edge (the sender_port of the message that arrived on p).
-        let children: Vec<(usize, ViewId)> = incoming
-            .into_iter()
-            .map(|m| {
-                let m = m.expect("every neighbor sends in every COM round");
-                (m.sender_port, m.view)
-            })
-            .collect();
+        // A missing message means the synchronous model was violated (a
+        // fault): the node stalls forever instead of guessing.
+        let mut children: Vec<(usize, ViewId)> = Vec::with_capacity(incoming.len());
+        for m in incoming {
+            match m {
+                Some(m) => children.push((m.sender_port, m.view)),
+                None => {
+                    self.stalled = true;
+                    return None;
+                }
+            }
+        }
         let assembled = arena.intern(self.degree, children);
         self.current = Some(assembled);
         if round + 1 == self.target_depth {
@@ -179,36 +215,43 @@ where
 /// This is the executable counterpart of "after `t` repetitions of `COM`,
 /// every node has its augmented truncated view at depth `t`"; tests compare
 /// the materialized result with [`AugmentedView::compute_all`] and with the
-/// tree-shipping oracle [`exchange_views_tree`].
-pub fn exchange_view_ids(g: &Graph, depth: usize) -> (ViewArena, Vec<ViewId>) {
+/// tree-shipping oracle [`exchange_views_tree`]. Errors with
+/// [`SimError::Incomplete`] if a node failed to acquire its view (which a
+/// clean synchronous run never does).
+pub fn exchange_view_ids(g: &Graph, depth: usize) -> Result<(ViewArena, Vec<ViewId>), SimError> {
     let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
     let collected: Arc<Mutex<Vec<Option<ViewId>>>> =
         Arc::new(Mutex::new(vec![None; g.num_nodes()]));
     let runner = SyncRunner::new(g, depth + 1);
-    let outcome = runner.run_indexed(|slot, _degree| {
+    runner.run_indexed(|slot, _degree| {
         let collected = Arc::clone(&collected);
         ComNode::new(Arc::clone(&arena), depth, move |_arena, view| {
             collected.lock()[slot] = Some(view);
             PortPath::empty()
         })
-    });
-    assert!(outcome.all_halted(), "COM exchange must terminate");
-    let ids: Vec<ViewId> = collected
-        .lock()
-        .iter()
-        .map(|v| v.expect("every node stored its view"))
-        .collect();
-    let arena = Arc::try_unwrap(arena)
-        .expect("all node instances dropped with the runner")
-        .into_inner();
-    (arena, ids)
+    })?;
+    let mut ids: Vec<ViewId> = Vec::with_capacity(g.num_nodes());
+    for (node, v) in collected.lock().iter().enumerate() {
+        match v {
+            Some(id) => ids.push(*id),
+            None => return Err(SimError::Incomplete { node }),
+        }
+    }
+    // All node instances (each holding an arena handle) were dropped with
+    // the runner, so the try_unwrap fast path always succeeds; the clone
+    // fallback keeps the function total without asserting on it.
+    let arena = match Arc::try_unwrap(arena) {
+        Ok(m) => m.into_inner(),
+        Err(shared) => shared.lock().clone(),
+    };
+    Ok((arena, ids))
 }
 
 /// [`exchange_view_ids`] with the per-node views materialized as explicit
 /// trees (exponential in `depth`; for tests and small graphs).
-pub fn exchange_views(g: &Graph, depth: usize) -> Vec<AugmentedView> {
-    let (arena, ids) = exchange_view_ids(g, depth);
-    ids.into_iter().map(|id| arena.materialize(id)).collect()
+pub fn exchange_views(g: &Graph, depth: usize) -> Result<Vec<AugmentedView>, SimError> {
+    let (arena, ids) = exchange_view_ids(g, depth)?;
+    Ok(ids.into_iter().map(|id| arena.materialize(id)).collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -242,6 +285,7 @@ where
     degree: usize,
     target_depth: usize,
     current: Option<AugmentedView>,
+    stalled: bool,
     finish: F,
 }
 
@@ -256,6 +300,7 @@ where
             degree: 0,
             target_depth,
             current: None,
+            stalled: false,
             finish,
         }
     }
@@ -278,7 +323,12 @@ where
     }
 
     fn send(&mut self, _round: usize) -> Vec<Option<TreeViewMessage>> {
-        let view = self.current.clone().expect("initialized");
+        if self.stalled {
+            return vec![None; self.degree];
+        }
+        let Some(view) = self.current.clone() else {
+            return vec![None; self.degree];
+        };
         (0..self.degree)
             .map(|p| {
                 Some(TreeViewMessage {
@@ -294,24 +344,32 @@ where
         round: usize,
         incoming: Vec<Option<TreeViewMessage>>,
     ) -> Option<PortPath> {
+        if self.stalled {
+            return None;
+        }
         if self.target_depth == 0 {
-            let view = self.current.as_ref().expect("initialized");
+            let view = self.current.as_ref()?;
             return Some((self.finish)(view));
         }
-        let children: Vec<(usize, AugmentedView)> = incoming
-            .into_iter()
-            .map(|m| {
-                let m = m.expect("every neighbor sends in every COM round");
-                (m.sender_port, m.view)
-            })
-            .collect();
-        self.current = Some(AugmentedView::from_parts(self.degree, children));
-        if round + 1 == self.target_depth {
-            let view = self.current.as_ref().expect("assembled");
-            Some((self.finish)(view))
+        let mut children: Vec<(usize, AugmentedView)> = Vec::with_capacity(incoming.len());
+        for m in incoming {
+            match m {
+                Some(m) => children.push((m.sender_port, m.view)),
+                None => {
+                    // A faulty round: stall instead of fabricating a view.
+                    self.stalled = true;
+                    return None;
+                }
+            }
+        }
+        let assembled = AugmentedView::from_parts(self.degree, children);
+        let decision = if round + 1 == self.target_depth {
+            Some((self.finish)(&assembled))
         } else {
             None
-        }
+        };
+        self.current = Some(assembled);
+        decision
     }
 
     /// A tree message costs its full tree size plus the sender port.
@@ -322,23 +380,26 @@ where
 
 /// Runs the materialized-tree `COM` oracle for `depth` rounds and returns
 /// the acquired `B^depth(v)` per node (exponential in `depth`).
-pub fn exchange_views_tree(g: &Graph, depth: usize) -> Vec<AugmentedView> {
+pub fn exchange_views_tree(g: &Graph, depth: usize) -> Result<Vec<AugmentedView>, SimError> {
     let collected: Arc<Mutex<Vec<Option<AugmentedView>>>> =
         Arc::new(Mutex::new(vec![None; g.num_nodes()]));
     let runner = SyncRunner::new(g, depth + 1);
-    let outcome = runner.run_indexed(|slot, _degree| {
+    runner.run_indexed(|slot, _degree| {
         let collected = Arc::clone(&collected);
         TreeComNode::new(depth, move |view: &AugmentedView| {
             collected.lock()[slot] = Some(view.clone());
             PortPath::empty()
         })
-    });
-    assert!(outcome.all_halted(), "COM exchange must terminate");
+    })?;
     let views = collected.lock();
-    views
-        .iter()
-        .map(|v| v.clone().expect("every node stored its view"))
-        .collect()
+    let mut out = Vec::with_capacity(g.num_nodes());
+    for (node, v) in views.iter().enumerate() {
+        match v {
+            Some(view) => out.push(view.clone()),
+            None => return Err(SimError::Incomplete { node }),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -356,7 +417,7 @@ mod tests {
         ];
         for g in &graphs {
             for depth in 0..3 {
-                let exchanged = exchange_views(g, depth);
+                let exchanged = exchange_views(g, depth).unwrap();
                 let central = AugmentedView::compute_all(g, depth);
                 assert_eq!(exchanged, central, "depth {depth}");
             }
@@ -373,8 +434,8 @@ mod tests {
         for g in &graphs {
             for depth in 0..3 {
                 assert_eq!(
-                    exchange_views(g, depth),
-                    exchange_views_tree(g, depth),
+                    exchange_views(g, depth).unwrap(),
+                    exchange_views_tree(g, depth).unwrap(),
                     "depth {depth}"
                 );
             }
@@ -386,8 +447,9 @@ mod tests {
         let g = generators::ring(6);
         let runner = SyncRunner::new(&g, 10);
         let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
-        let outcome =
-            runner.run(|_| ComNode::new(Arc::clone(&arena), 3, |_arena, _v| PortPath::empty()));
+        let outcome = runner
+            .run(|_| ComNode::new(Arc::clone(&arena), 3, |_arena, _v| PortPath::empty()))
+            .unwrap();
         assert!(outcome.all_halted());
         assert_eq!(outcome.election_time(), Some(3));
     }
@@ -398,9 +460,12 @@ mod tests {
         let depth = 3;
         let runner = SyncRunner::new(&g, depth + 1);
         let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
-        let flat =
-            runner.run(|_| ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty()));
-        let tree = runner.run(|_| TreeComNode::new(depth, |_v| PortPath::empty()));
+        let flat = runner
+            .run(|_| ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty()))
+            .unwrap();
+        let tree = runner
+            .run(|_| TreeComNode::new(depth, |_v| PortPath::empty()))
+            .unwrap();
         assert_eq!(flat.stats.messages, tree.stats.messages);
         // Arena messages: exactly 2 words each.
         assert_eq!(flat.stats.message_words, 2 * flat.stats.messages);
@@ -413,7 +478,7 @@ mod tests {
     #[test]
     fn depth_zero_requires_no_information_from_neighbors() {
         let g = generators::clique(4);
-        let (arena, ids) = exchange_view_ids(&g, 0);
+        let (arena, ids) = exchange_view_ids(&g, 0).unwrap();
         for &id in &ids {
             assert_eq!(arena.depth(id), 0);
             assert_eq!(arena.degree(id), 3);
@@ -426,7 +491,7 @@ mod tests {
     fn assembled_views_deepen_by_one_each_round() {
         let g = generators::torus(3, 3);
         for depth in 1..4 {
-            let (arena, ids) = exchange_view_ids(&g, depth);
+            let (arena, ids) = exchange_view_ids(&g, depth).unwrap();
             assert!(ids.iter().all(|&id| arena.depth(id) == depth));
         }
     }
@@ -438,8 +503,8 @@ mod tests {
         use anet_graph::relabel;
         let g = generators::lollipop(5, 3);
         let (h, perm) = relabel::random_node_permutation(&g, 77);
-        let vg = exchange_views(&g, 2);
-        let vh = exchange_views(&h, 2);
+        let vg = exchange_views(&g, 2).unwrap();
+        let vh = exchange_views(&h, 2).unwrap();
         for v in g.nodes() {
             assert_eq!(vg[v], vh[perm[v]]);
         }

@@ -1,0 +1,97 @@
+//! A per-round dynamic view of a static port-labeled graph.
+//!
+//! Edge churn in a [`FaultPlan`] is specified per *undirected* edge: when
+//! an edge is down for a round, messages are lost in both directions.
+//! [`DynamicGraph`] resolves the symmetric decision — both endpoints of an
+//! edge must agree whether it is up — by keying the plan's decision on the
+//! edge's canonical endpoint, the lexicographically smaller of its two
+//! incident `(node, port)` pairs.
+
+use anet_graph::{Graph, NodeId};
+
+use crate::fault::FaultPlan;
+
+/// A round-indexed up/down view of the edges of a static graph under a
+/// churn plan.
+#[derive(Clone, Copy)]
+pub struct DynamicGraph<'a> {
+    graph: &'a Graph,
+    plan: &'a FaultPlan,
+}
+
+impl<'a> DynamicGraph<'a> {
+    /// Wraps `graph` with the churn decisions of `plan`.
+    pub fn new(graph: &'a Graph, plan: &'a FaultPlan) -> Self {
+        DynamicGraph { graph, plan }
+    }
+
+    /// The underlying static graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Whether the edge incident to `node` on `port` is up in `round`.
+    /// Symmetric by construction: both endpoints get the same answer.
+    pub fn edge_up(&self, round: usize, node: NodeId, port: usize) -> bool {
+        let (u, q) = self.graph.neighbor(node, port);
+        let (cn, cp) = if (node, port) <= (u, q) {
+            (node, port)
+        } else {
+            (u, q)
+        };
+        !self.plan.edge_down(round, cn, cp)
+    }
+
+    /// The number of edges up in `round` (for diagnostics and tests).
+    pub fn edges_up(&self, round: usize) -> usize {
+        self.graph
+            .edges()
+            .filter(|&(v, p, _, _)| self.edge_up(round, v, p))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn churn_decisions_are_symmetric() {
+        let g = generators::torus(3, 4);
+        let plan = FaultPlan::edge_churn(11, 128, 4);
+        let dg = DynamicGraph::new(&g, &plan);
+        for round in 0..6 {
+            for v in g.nodes() {
+                for (p, u, q) in g.ports(v) {
+                    assert_eq!(
+                        dg.edge_up(round, v, p),
+                        dg.edge_up(round, u, q),
+                        "round {round} edge ({v},{p})-({u},{q})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_up_rounds_keep_every_edge() {
+        let g = generators::clique(5);
+        let plan = FaultPlan::edge_churn(3, 255, 3);
+        let dg = DynamicGraph::new(&g, &plan);
+        assert_eq!(dg.edges_up(2), g.num_edges());
+        assert_eq!(dg.edges_up(5), g.num_edges());
+        // Rate 255 takes down almost everything outside forced rounds.
+        assert!(dg.edges_up(0) < g.num_edges());
+    }
+
+    #[test]
+    fn fault_free_plan_keeps_the_graph_static() {
+        let g = generators::ring(7);
+        let plan = FaultPlan::none();
+        let dg = DynamicGraph::new(&g, &plan);
+        for round in 0..4 {
+            assert_eq!(dg.edges_up(round), g.num_edges());
+        }
+    }
+}

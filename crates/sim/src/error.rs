@@ -1,0 +1,67 @@
+//! Typed simulator errors.
+//!
+//! The round engines used to enforce the [`NodeAlgorithm`] send contract
+//! with an `assert_eq!`; a malformed algorithm would abort the whole
+//! process. Under the panic-hygiene ratchet the engines instead surface a
+//! [`SimError`] through a `Result` path, so harnesses (conformance,
+//! benchmarks, adversarial runs) can report the violation and keep going.
+//!
+//! [`NodeAlgorithm`]: crate::NodeAlgorithm
+
+use anet_graph::NodeId;
+
+/// An error surfaced by one of the round engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A node's `send` returned a message vector whose length is not the
+    /// node's degree: the synchronous model requires exactly one entry
+    /// (possibly `None`) per port.
+    BadSendArity {
+        /// The offending node (simulator identifier).
+        node: NodeId,
+        /// Number of entries the algorithm returned.
+        got: usize,
+        /// The node's degree — the required number of entries.
+        want: usize,
+    },
+    /// A run that must complete (such as a `COM` view exchange) reached its
+    /// round cap with `node` still unhalted.
+    Incomplete {
+        /// The smallest-id node that failed to halt.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadSendArity { node, got, want } => write!(
+                f,
+                "node {node}: send returned {got} entries, want one per port ({want})"
+            ),
+            SimError::Incomplete { node } => {
+                write!(f, "node {node} did not halt within the round cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node_and_arity() {
+        let e = SimError::BadSendArity {
+            node: 3,
+            got: 1,
+            want: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3") && s.contains('1') && s.contains('4'));
+        let e = SimError::Incomplete { node: 9 };
+        assert!(e.to_string().contains("node 9"));
+    }
+}

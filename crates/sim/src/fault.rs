@@ -1,0 +1,310 @@
+//! Seeded, deterministic fault plans for adversarial executions.
+//!
+//! A [`FaultPlan`] is the adversary: a pure function from `(seed, round,
+//! location)` to fault decisions, fixed before the run starts. Because the
+//! plan is deterministic, an adversarial run is exactly reproducible from
+//! `(graph, plan)` — which is what lets the conformance harness certify
+//! byte-identical outcomes across engines and thread counts even *under*
+//! faults. Four adversary capabilities are modeled:
+//!
+//! * **Crash/recover** ([`CrashEvent`]): a node stops participating at a
+//!   given round; under [`CrashSemantics::RestartFromInit`] it may come
+//!   back later with all volatile state lost — the runner re-creates the
+//!   node algorithm from its factory (re-running `init` and replaying the
+//!   advice, which is stable storage in the paper's model). Under
+//!   [`CrashSemantics::Stop`] a crashed node never returns.
+//! * **Message drops** ([`DropSpec`]): each directed `(round, node, port)`
+//!   delivery is dropped with probability `rate/256`, except in
+//!   forced-delivery rounds (every `window`-th round) which bound every
+//!   loss burst — an ARQ wrapper with retransmission therefore always
+//!   makes progress.
+//! * **Edge churn** ([`ChurnSpec`]): whole edges disappear for a round
+//!   (both directions), again with forced-up rounds bounding outages.
+//! * **Phase skew** (`skew`): the order in which the sequential engine
+//!   runs the per-node send and receive phases within a round is permuted
+//!   per round. In a synchronous model this must be observationally
+//!   invisible; the conformance harness asserts exactly that.
+//!
+//! Decisions are derived from the seed with the same SplitMix64 mixer the
+//! adversarial corpus uses, so plans are stable across platforms and runs.
+
+use anet_graph::NodeId;
+
+/// What happens to a node's state when it crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSemantics {
+    /// Crash-stop: the node is gone for good; scheduled recoveries are
+    /// ignored.
+    Stop,
+    /// Crash-restart: at its recovery round the node is re-created from the
+    /// factory with `init` re-run — volatile state is lost, only the
+    /// degree and the (replayed) advice survive.
+    RestartFromInit,
+}
+
+/// One scheduled crash, with an optional recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// The round at whose start the node crashes (it neither sends nor
+    /// receives in that round).
+    pub at: usize,
+    /// The round at whose start the node recovers, if any. Ignored under
+    /// [`CrashSemantics::Stop`].
+    pub recover_at: Option<usize>,
+}
+
+/// Per-port message-drop behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropSpec {
+    /// Drop probability numerator out of 256 (255 ≈ always, 0 = never).
+    pub rate: u8,
+    /// Forced-delivery window: in rounds `r` with `r % window == window - 1`
+    /// nothing is dropped, so no loss burst exceeds `window - 1` rounds.
+    pub window: usize,
+}
+
+/// Per-edge churn behaviour (an edge down for a round loses both
+/// directions' messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Down probability numerator out of 256 per `(round, edge)`.
+    pub rate: u8,
+    /// Forced-up window: in rounds `r` with `r % window == window - 1`
+    /// every edge is up.
+    pub window: usize,
+}
+
+/// A complete, deterministic adversary schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed all probabilistic decisions are derived from.
+    pub seed: u64,
+    /// State semantics applied to every crash in `crashes`.
+    pub semantics: CrashSemantics,
+    /// Scheduled crash (and recovery) events.
+    pub crashes: Vec<CrashEvent>,
+    /// Message-drop behaviour, if any.
+    pub drops: Option<DropSpec>,
+    /// Edge-churn behaviour, if any.
+    pub churn: Option<ChurnSpec>,
+    /// Whether to permute the per-round phase order (sequential engine).
+    pub skew: bool,
+}
+
+/// SplitMix64-style mixer (same constants as the conformance corpus), so
+/// fault decisions are reproducible everywhere.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Packs a `(round, node, port)` coordinate into one salt word. Ports are
+/// below 2^16 (degrees) and rounds below 2^16 in every harness; nodes get
+/// the remaining high bits.
+fn coord(round: usize, node: usize, port: usize) -> u64 {
+    ((node as u64) << 32) ^ ((round as u64) << 16) ^ (port as u64)
+}
+
+const SALT_DROP: u64 = 0x00D7_0000;
+const SALT_CHURN: u64 = 0x00C4_0000;
+const SALT_SKEW: u64 = 0x005E_0000;
+
+impl FaultPlan {
+    /// The empty plan: no faults, natural phase order.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            semantics: CrashSemantics::Stop,
+            crashes: Vec::new(),
+            drops: None,
+            churn: None,
+            skew: false,
+        }
+    }
+
+    /// A pure phase-skew adversary: permuted per-round phase order, no
+    /// faults.
+    pub fn phase_skew(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            skew: true,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A message-dropping adversary with retransmission-friendly bounded
+    /// bursts (`window` of at least 1; a window of 1 forces every round).
+    pub fn message_drops(seed: u64, rate: u8, window: usize) -> Self {
+        FaultPlan {
+            seed,
+            drops: Some(DropSpec {
+                rate,
+                window: window.max(1),
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// An edge-churn adversary with bounded outages.
+    pub fn edge_churn(seed: u64, rate: u8, window: usize) -> Self {
+        FaultPlan {
+            seed,
+            churn: Some(ChurnSpec {
+                rate,
+                window: window.max(1),
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A crash adversary running the given events under `semantics`.
+    pub fn crashing(seed: u64, semantics: CrashSemantics, crashes: Vec<CrashEvent>) -> Self {
+        FaultPlan {
+            seed,
+            semantics,
+            crashes,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether the plan perturbs the execution at all beyond phase order.
+    pub fn is_fault_free(&self) -> bool {
+        self.crashes.is_empty() && self.drops.is_none() && self.churn.is_none()
+    }
+
+    /// Nodes that crash at the start of `round`.
+    pub fn crashes_at(&self, round: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashes
+            .iter()
+            .filter(move |c| c.at == round)
+            .map(|c| c.node)
+    }
+
+    /// Nodes that recover at the start of `round` (only meaningful under
+    /// [`CrashSemantics::RestartFromInit`]).
+    pub fn recoveries_at(&self, round: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashes
+            .iter()
+            .filter(move |c| c.recover_at == Some(round))
+            .map(|c| c.node)
+    }
+
+    /// Whether the message leaving `node` on `port` in `round` is dropped.
+    pub fn drops_message(&self, round: usize, node: NodeId, port: usize) -> bool {
+        match self.drops {
+            Some(DropSpec { rate, window }) => {
+                round % window != window - 1
+                    && (mix(self.seed ^ SALT_DROP, coord(round, node, port)) & 0xFF) < rate as u64
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the (undirected) edge identified by its canonical endpoint
+    /// `(node, port)` — the lexicographically smaller of the two incident
+    /// `(node, port)` pairs — is down for the whole of `round`.
+    pub fn edge_down(&self, round: usize, node: NodeId, port: usize) -> bool {
+        match self.churn {
+            Some(ChurnSpec { rate, window }) => {
+                round % window != window - 1
+                    && (mix(self.seed ^ SALT_CHURN, coord(round, node, port)) & 0xFF) < rate as u64
+            }
+            None => false,
+        }
+    }
+
+    /// The order in which the sequential engine runs the per-node phases in
+    /// `round`: the identity unless `skew` is set, in which case a seeded
+    /// Fisher–Yates permutation of `0..n`.
+    pub fn phase_order(&self, round: usize, n: usize) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..n).collect();
+        if self.skew {
+            for i in (1..n).rev() {
+                let j = (mix(self.seed ^ SALT_SKEW, coord(round, i, 0)) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_fault_free_and_identity_ordered() {
+        let p = FaultPlan::none();
+        assert!(p.is_fault_free());
+        assert_eq!(p.phase_order(3, 5), vec![0, 1, 2, 3, 4]);
+        assert!(!p.drops_message(0, 0, 0));
+        assert!(!p.edge_down(0, 0, 0));
+        assert_eq!(p.crashes_at(0).count(), 0);
+    }
+
+    #[test]
+    fn skew_orders_are_permutations_and_seed_stable() {
+        let p = FaultPlan::phase_skew(42);
+        for round in 0..8 {
+            let o = p.phase_order(round, 9);
+            let mut sorted = o.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+            assert_eq!(o, p.phase_order(round, 9), "deterministic");
+        }
+        // Different rounds shuffle differently (with overwhelming
+        // probability for this seed — asserted as a fixed fact).
+        assert_ne!(p.phase_order(0, 9), p.phase_order(1, 9));
+    }
+
+    #[test]
+    fn forced_delivery_rounds_never_drop() {
+        let p = FaultPlan::message_drops(7, 255, 4);
+        for v in 0..10 {
+            for port in 0..4 {
+                assert!(!p.drops_message(3, v, port));
+                assert!(!p.drops_message(7, v, port));
+            }
+        }
+        // Rate 255 drops (almost) everything elsewhere.
+        let dropped = (0..100).filter(|&v| p.drops_message(0, v, 0)).count();
+        assert!(dropped > 90, "{dropped}");
+    }
+
+    #[test]
+    fn churn_windows_force_edges_up() {
+        let p = FaultPlan::edge_churn(9, 200, 3);
+        for v in 0..10 {
+            assert!(!p.edge_down(2, v, 0));
+            assert!(!p.edge_down(5, v, 0));
+        }
+    }
+
+    #[test]
+    fn crash_and_recovery_schedules_resolve_by_round() {
+        let p = FaultPlan::crashing(
+            1,
+            CrashSemantics::RestartFromInit,
+            vec![
+                CrashEvent {
+                    node: 2,
+                    at: 1,
+                    recover_at: Some(4),
+                },
+                CrashEvent {
+                    node: 5,
+                    at: 1,
+                    recover_at: None,
+                },
+            ],
+        );
+        assert_eq!(p.crashes_at(1).collect::<Vec<_>>(), vec![2, 5]);
+        assert_eq!(p.crashes_at(0).count(), 0);
+        assert_eq!(p.recoveries_at(4).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(p.recoveries_at(1).count(), 0);
+    }
+}

@@ -26,13 +26,45 @@
 //!   hash-consed view ids against a shared [`anet_views::ViewArena`]
 //!   (`O(m)` words per round); the literal tree-shipping reading of
 //!   Algorithm 1 survives as [`com::TreeComNode`], the correctness oracle.
+//!
+//! ## The adversarial execution layer
+//!
+//! The clean engines above assume the paper's synchronous fault-free
+//! model. The adversarial layer relaxes it, deterministically:
+//!
+//! * [`fault::FaultPlan`] — a seeded, reproducible adversary schedule:
+//!   per-node crash/recover events, per-port message drops and per-edge
+//!   churn with bounded bursts, and per-round phase-order skew,
+//! * [`dynamic::DynamicGraph`] — the per-round up/down edge view a churn
+//!   plan induces over a static graph,
+//! * [`adv::AdvRunner`] — the fault-injecting engine; under
+//!   [`FaultPlan::none`](fault::FaultPlan::none) its transcript is
+//!   bit-identical to [`SyncRunner`]'s,
+//! * [`link::ReliableLink`] — a retransmit/ack adapter restoring the
+//!   synchronous abstraction over dropped and churned messages,
+//! * [`restart::Restartable`] — a generation-reset adapter that survives
+//!   crash/restart nodes by deterministically restarting the computation,
+//! * [`error::SimError`] — the typed error path (send-contract violations
+//!   and incomplete mandatory runs) replacing engine panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adv;
 pub mod com;
+pub mod dynamic;
+pub mod error;
+pub mod fault;
+pub mod link;
 pub mod parallel;
+pub mod restart;
 pub mod runner;
 
+pub use adv::AdvRunner;
 pub use com::{exchange_view_ids, exchange_views, ComNode, SharedViewArena, ViewMessage};
+pub use dynamic::DynamicGraph;
+pub use error::SimError;
+pub use fault::{ChurnSpec, CrashEvent, CrashSemantics, DropSpec, FaultPlan};
+pub use link::ReliableLink;
+pub use restart::Restartable;
 pub use runner::{NodeAlgorithm, RunOutcome, RunStats, SyncRunner};

@@ -10,6 +10,7 @@
 
 use anet_graph::{Graph, PortPath};
 
+use crate::error::SimError;
 use crate::runner::{NodeAlgorithm, RunOutcome, RunStats};
 
 /// A multi-threaded executor of the synchronous LOCAL model.
@@ -34,7 +35,7 @@ impl<'g> ParallelRunner<'g> {
     /// [`SyncRunner::run`](crate::SyncRunner::run) for the contract. Requires
     /// `Send` node states and messages so they can be processed on worker
     /// threads.
-    pub fn run<A, F>(&self, mut factory: F) -> RunOutcome
+    pub fn run<A, F>(&self, mut factory: F) -> Result<RunOutcome, SimError>
     where
         A: NodeAlgorithm + Send,
         A::Message: Send,
@@ -90,7 +91,13 @@ impl<'g> ParallelRunner<'g> {
                 (0..n).map(|v| vec![None; g.degree(v)]).collect();
             for (v, slot) in outgoing.iter_mut().enumerate() {
                 if let Some(msgs) = slot.take() {
-                    assert_eq!(msgs.len(), g.degree(v), "send must cover every port");
+                    if msgs.len() != g.degree(v) {
+                        return Err(SimError::BadSendArity {
+                            node: v,
+                            got: msgs.len(),
+                            want: g.degree(v),
+                        });
+                    }
                     for (p, msg) in msgs.into_iter().enumerate() {
                         if let Some(msg) = msg {
                             let (u, q) = g.neighbor(v, p);
@@ -138,11 +145,11 @@ impl<'g> ParallelRunner<'g> {
             }
         }
 
-        RunOutcome {
+        Ok(RunOutcome {
             outputs,
             halt_round,
             stats,
-        }
+        })
     }
 }
 
@@ -167,10 +174,12 @@ mod tests {
             for threads in [1, 2, 4] {
                 let arena_seq: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
                 let seq = SyncRunner::new(g, 10)
-                    .run(|_| ComNode::new(Arc::clone(&arena_seq), 2, |_a, _v| PortPath::empty()));
+                    .run(|_| ComNode::new(Arc::clone(&arena_seq), 2, |_a, _v| PortPath::empty()))
+                    .unwrap();
                 let arena_par: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
                 let par = ParallelRunner::new(g, 10, threads)
-                    .run(|_| ComNode::new(Arc::clone(&arena_par), 2, |_a, _v| PortPath::empty()));
+                    .run(|_| ComNode::new(Arc::clone(&arena_par), 2, |_a, _v| PortPath::empty()))
+                    .unwrap();
                 assert_eq!(seq.halt_round, par.halt_round);
                 assert_eq!(seq.outputs, par.outputs);
                 assert_eq!(seq.stats, par.stats);
@@ -200,6 +209,7 @@ mod tests {
                 PortPath::empty()
             })
         });
+        let outcome = outcome.unwrap();
         assert!(outcome.all_halted());
         let central = AugmentedView::compute_all(&g, depth);
         let arena = arena.lock();
@@ -214,7 +224,8 @@ mod tests {
         let g = generators::path(3);
         let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
         let outcome = ParallelRunner::new(&g, 5, 16)
-            .run(|_| ComNode::new(Arc::clone(&arena), 1, |_a, _v| PortPath::empty()));
+            .run(|_| ComNode::new(Arc::clone(&arena), 1, |_a, _v| PortPath::empty()))
+            .unwrap();
         assert!(outcome.all_halted());
     }
 }

@@ -2,6 +2,8 @@
 
 use anet_graph::{Graph, NodeId, PortPath};
 
+use crate::error::SimError;
+
 /// A node-local deterministic algorithm executed by the simulator.
 ///
 /// One instance of the implementing type is created per node (by the factory
@@ -115,7 +117,7 @@ impl<'g> SyncRunner<'g> {
     /// external counter. The slot index is harness bookkeeping for
     /// depositing outputs — it is *not* information available to the node
     /// algorithm, which still only sees its degree.
-    pub fn run_indexed<A, F>(&self, mut factory: F) -> RunOutcome
+    pub fn run_indexed<A, F>(&self, mut factory: F) -> Result<RunOutcome, SimError>
     where
         A: NodeAlgorithm,
         F: FnMut(usize, usize) -> A,
@@ -131,7 +133,12 @@ impl<'g> SyncRunner<'g> {
     /// Runs one node algorithm instance per node, created by `factory`
     /// (which receives the node's degree, *not* its identity), until every
     /// node halts or `max_rounds` is reached.
-    pub fn run<A, F>(&self, mut factory: F) -> RunOutcome
+    ///
+    /// Errors with [`SimError::BadSendArity`] if a node's `send` violates
+    /// the one-entry-per-port contract; reaching `max_rounds` with unhalted
+    /// nodes is *not* an error (the returned outcome reports it via
+    /// [`RunOutcome::all_halted`]).
+    pub fn run<A, F>(&self, mut factory: F) -> Result<RunOutcome, SimError>
     where
         A: NodeAlgorithm,
         F: FnMut(usize) -> A,
@@ -162,11 +169,13 @@ impl<'g> SyncRunner<'g> {
                     continue;
                 }
                 let msgs = node.send(round);
-                assert_eq!(
-                    msgs.len(),
-                    g.degree(v),
-                    "send must return one entry per port"
-                );
+                if msgs.len() != g.degree(v) {
+                    return Err(SimError::BadSendArity {
+                        node: v,
+                        got: msgs.len(),
+                        want: g.degree(v),
+                    });
+                }
                 outgoing.push(msgs);
             }
             // Phase 2: route messages along edges.
@@ -194,11 +203,11 @@ impl<'g> SyncRunner<'g> {
             }
         }
 
-        RunOutcome {
+        Ok(RunOutcome {
             outputs,
             halt_round,
             stats,
-        }
+        })
     }
 }
 
@@ -240,11 +249,13 @@ mod tests {
     fn all_nodes_halt_after_target_rounds() {
         let g = generators::ring(6);
         let runner = SyncRunner::new(&g, 100);
-        let outcome = runner.run(|_deg| CountDown {
-            target: 3,
-            degree: 0,
-            seen: 0,
-        });
+        let outcome = runner
+            .run(|_deg| CountDown {
+                target: 3,
+                degree: 0,
+                seen: 0,
+            })
+            .unwrap();
         assert!(outcome.all_halted());
         assert_eq!(outcome.election_time(), Some(3));
         for r in &outcome.halt_round {
@@ -256,11 +267,13 @@ mod tests {
     fn message_count_matches_rounds_times_edges() {
         let g = generators::clique(5);
         let runner = SyncRunner::new(&g, 100);
-        let outcome = runner.run(|_deg| CountDown {
-            target: 2,
-            degree: 0,
-            seen: 0,
-        });
+        let outcome = runner
+            .run(|_deg| CountDown {
+                target: 2,
+                degree: 0,
+                seen: 0,
+            })
+            .unwrap();
         // Every round sends 2 messages per edge; all nodes halt after 2 rounds.
         assert_eq!(outcome.stats.rounds, 2);
         assert_eq!(outcome.stats.messages, 2 * 2 * g.num_edges());
@@ -268,20 +281,6 @@ mod tests {
 
     #[test]
     fn max_rounds_caps_non_terminating_algorithms() {
-        struct Never;
-        impl NodeAlgorithm for Never {
-            type Message = ();
-            fn init(&mut self, _d: usize) {}
-            fn send(&mut self, _r: usize) -> Vec<Option<()>> {
-                Vec::new()
-            }
-            fn receive(&mut self, _r: usize, _m: Vec<Option<()>>) -> Option<PortPath> {
-                None
-            }
-        }
-        // Degenerate: a node with no neighbors would break send's contract,
-        // so use a 2-node path and return empty sends only for degree 0 —
-        // instead check the cap with a well-formed never-halting algorithm.
         struct Never2 {
             degree: usize,
         }
@@ -297,13 +296,37 @@ mod tests {
                 None
             }
         }
-        let _ = Never; // silence unused warning for the illustrative type
         let g = generators::path(2);
         let runner = SyncRunner::new(&g, 7);
-        let outcome = runner.run(|_| Never2 { degree: 0 });
+        let outcome = runner.run(|_| Never2 { degree: 0 }).unwrap();
         assert!(!outcome.all_halted());
         assert_eq!(outcome.stats.rounds, 7);
         assert_eq!(outcome.election_time(), None);
+    }
+
+    #[test]
+    fn bad_send_arity_is_a_typed_error_not_a_panic() {
+        struct Short;
+        impl NodeAlgorithm for Short {
+            type Message = ();
+            fn init(&mut self, _d: usize) {}
+            fn send(&mut self, _r: usize) -> Vec<Option<()>> {
+                Vec::new() // always wrong on a graph with edges
+            }
+            fn receive(&mut self, _r: usize, _m: Vec<Option<()>>) -> Option<PortPath> {
+                None
+            }
+        }
+        let g = generators::ring(4);
+        let err = SyncRunner::new(&g, 5).run(|_| Short).unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimError::BadSendArity {
+                node: 0,
+                got: 0,
+                want: 2
+            }
+        );
     }
 
     #[test]
@@ -335,7 +358,7 @@ mod tests {
         }
         let g = generators::star(3);
         let runner = SyncRunner::new(&g, 50);
-        let outcome = runner.run(|_| HaltIfLeaf { degree: 0 });
+        let outcome = runner.run(|_| HaltIfLeaf { degree: 0 }).unwrap();
         assert!(outcome.all_halted());
         // Leaves halt in round 0, the center later.
         assert_eq!(outcome.halt_round[1], Some(0));

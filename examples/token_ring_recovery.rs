@@ -11,10 +11,17 @@
 //! is perfectly symmetric, so election is *impossible*; a realistic ring whose
 //! stations carry different numbers of attached devices ("hairy ring") is
 //! feasible, and the election machinery of the paper applies.
+//!
+//! This example goes one step further than the paper's fault-free model: the
+//! recovery election itself is faulty. A station crashes mid-election and
+//! comes back from a cold boot (its advice survives on stable storage), and
+//! the restartable execution model re-runs the election under it — re-electing
+//! the *same* token owner, merely a few rounds later.
 
-use anonymous_election::election::{elect_all, ElectionError};
+use anonymous_election::election::{elect_all, ElectionError, ExecutionModel, Instance};
 use anonymous_election::families::hairy_ring;
 use anonymous_election::graph::generators;
+use anonymous_election::sim::{CrashEvent, CrashSemantics, FaultPlan};
 use anonymous_election::views::{election_index, is_feasible};
 
 fn main() {
@@ -49,4 +56,53 @@ fn main() {
         "the longest such path has {} hops.",
         outcome.outputs.iter().map(|p| p.len()).max().unwrap()
     );
+
+    // Now the token is lost AGAIN — and this time the recovery election is
+    // itself unlucky: station 1 crashes in the first round and reboots two
+    // rounds later with nothing but its stable storage (the advice). Under
+    // the restartable execution model the ring detects the restart, resets
+    // deterministically, and re-elects.
+    let crash = FaultPlan::crashing(
+        42,
+        CrashSemantics::RestartFromInit,
+        vec![CrashEvent {
+            node: 1,
+            at: 1,
+            recover_at: Some(3),
+        }],
+    );
+    let inst = Instance::new(&ring);
+    let recovered = inst
+        .elect_under(&crash, ExecutionModel::Restartable, 1)
+        .expect("the restartable model absorbs a crash-and-reboot");
+    println!(
+        "\nstation 1 crashed at round 1 and rebooted at round 3 — the ring re-elected\n\
+         node {} (the same owner) in {} round(s), {} messages instead of {}.",
+        recovered.leader, recovered.time, recovered.stats.messages, outcome.stats.messages
+    );
+    assert_eq!(
+        recovered.leader, outcome.leader,
+        "a faulty re-election must agree with the clean one"
+    );
+    assert_eq!(recovered.outputs, outcome.outputs);
+    assert!(recovered.time > outcome.time);
+
+    // A station that crashes and never comes back is a different story: no
+    // election can finish without it, and the machinery refuses loudly
+    // rather than crowning a wrong owner.
+    let dead = FaultPlan::crashing(
+        42,
+        CrashSemantics::Stop,
+        vec![CrashEvent {
+            node: 1,
+            at: 1,
+            recover_at: None,
+        }],
+    );
+    match inst.elect_under(&dead, ExecutionModel::Restartable, 1) {
+        Err(ElectionError::NodeDidNotHalt { .. }) => {
+            println!("\nwith station 1 permanently dead the election refuses (no wrong owner).")
+        }
+        other => println!("\nunexpected outcome under crash-stop: {other:?}"),
+    }
 }

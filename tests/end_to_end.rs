@@ -95,7 +95,7 @@ fn milestones_and_minimum_time_agree_on_the_leader_up_to_view_order() {
 #[test]
 fn exchanged_views_on_families_match_central_computation() {
     let g = ring_of_cliques_base(4, 3);
-    let exchanged = exchange_views(&g, 2);
+    let exchanged = exchange_views(&g, 2).unwrap();
     let central = AugmentedView::compute_all(&g, 2);
     assert_eq!(exchanged, central);
 }

@@ -10,12 +10,12 @@ use anonymous_election::advice::{codec, BitString};
 use anonymous_election::election::advice_build::compute_advice_reference;
 use anonymous_election::election::{
     compute_advice, elect_all, election_milestone, generic_elect_all, remark_elect_all,
-    AdviceScheme, Generic, Instance, Milestone, MilestoneScheme, MinTime, Remark,
+    AdviceScheme, ExecutionModel, Generic, Instance, Milestone, MilestoneScheme, MinTime, Remark,
 };
 use anonymous_election::graph::lift::{identity_voltage, VoltageGraph};
 use anonymous_election::graph::{algo, generators, lift, relabel};
 use anonymous_election::sim::com::exchange_views_tree;
-use anonymous_election::sim::exchange_views;
+use anonymous_election::sim::{exchange_views, CrashEvent, CrashSemantics, FaultPlan};
 use anonymous_election::views::{election_index, election_index_naive, AugmentedView, ViewClasses};
 
 /// Strategy: a connected random graph described by (size, edge probability,
@@ -159,8 +159,8 @@ proptest! {
         // to those of the literal tree-shipping reading of Algorithm 1.
         let g = generators::random_connected(n, p, seed);
         for depth in 0..3usize {
-            let arena_views = exchange_views(&g, depth);
-            let oracle_views = exchange_views_tree(&g, depth);
+            let arena_views = exchange_views(&g, depth).unwrap();
+            let oracle_views = exchange_views_tree(&g, depth).unwrap();
             prop_assert_eq!(&arena_views, &oracle_views);
             // Both equal the centrally computed views.
             prop_assert_eq!(&arena_views, &AugmentedView::compute_all(&g, depth));
@@ -342,5 +342,65 @@ proptest! {
         prop_assert_eq!(counts.analysis, 1);
         prop_assert!(counts.eccentricities <= 1);
         prop_assert!(counts.class_deepenings <= 1);
+    }
+
+    #[test]
+    fn fault_free_adversarial_engine_is_bit_identical_to_the_clean_one((n, p, seed) in graph_params()) {
+        // Under the empty fault plan the adversarial engine (AdvRunner via
+        // elect_under) must reproduce the clean SyncRunner transcript exactly:
+        // same outputs, same halt round, same message statistics.
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            prop_assume!(phi <= 4);
+            let clean = elect_all(&g).unwrap();
+            let inst = Instance::new(&g);
+            for model in [ExecutionModel::Raw, ExecutionModel::ReliableLinks, ExecutionModel::Restartable] {
+                let adv = inst.elect_under(&FaultPlan::none(), model, 1).unwrap();
+                prop_assert_eq!(adv.leader, clean.leader);
+                prop_assert_eq!(&adv.outputs, &clean.outputs);
+                if model == ExecutionModel::Raw {
+                    // The bare exchange is the very same transcript; the
+                    // wrappers add protocol rounds/messages but must still
+                    // elect identically (checked above).
+                    prop_assert_eq!(adv.time, clean.time);
+                    prop_assert_eq!(&adv.stats, &clean.stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_runs_are_byte_identical_across_thread_counts((n, p, seed) in graph_params()) {
+        // A fixed (seed, FaultPlan) pair must produce the same outcome on
+        // every engine parallelism — the adversary is part of the input, not
+        // of the schedule.
+        let g = generators::random_connected(n, p, seed);
+        if let Some(phi) = election_index(&g) {
+            prop_assume!(phi <= 4);
+            let inst = Instance::new(&g);
+            let crash_node = (seed % n as u64) as usize;
+            let plans = [
+                (FaultPlan::phase_skew(seed), ExecutionModel::Raw),
+                (FaultPlan::message_drops(seed, 110, 4), ExecutionModel::ReliableLinks),
+                (
+                    FaultPlan::crashing(
+                        seed,
+                        CrashSemantics::RestartFromInit,
+                        vec![CrashEvent { node: crash_node, at: 1, recover_at: Some(3) }],
+                    ),
+                    ExecutionModel::Restartable,
+                ),
+            ];
+            for (plan, model) in &plans {
+                let base = inst.elect_under(plan, *model, 1).unwrap();
+                for threads in [2usize, 3] {
+                    let other = inst.elect_under(plan, *model, threads).unwrap();
+                    prop_assert_eq!(other.leader, base.leader);
+                    prop_assert_eq!(&other.outputs, &base.outputs);
+                    prop_assert_eq!(other.time, base.time);
+                    prop_assert_eq!(&other.stats, &base.stats);
+                }
+            }
+        }
     }
 }
