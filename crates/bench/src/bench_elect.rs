@@ -71,9 +71,11 @@ impl ElectRecord {
 }
 
 /// Runs the election sweep over [`workloads::bench_graphs`] plus the
-/// [`workloads::large_graphs`] tiers with at most `max_n` nodes, timing the
-/// advice-build / simulation / verification phases separately (`threads`
-/// key-fill workers for the φ analysis inside `ComputeAdvice`).
+/// [`workloads::elect_graphs_up_to`] tiers with at most `max_n` nodes
+/// (above ~20k nodes only the low-diameter `random_sparse` family runs —
+/// see that function's docs), timing the advice-build / simulation /
+/// verification phases separately (`threads` workers for the refinement
+/// and view-level passes inside `ComputeAdvice`).
 ///
 /// # Panics
 /// Panics if any instance fails to elect — the sweep doubles as an
@@ -81,7 +83,7 @@ impl ElectRecord {
 pub fn run_elect_sweep(max_n: usize, threads: usize) -> Vec<ElectRecord> {
     let opts = RefineOptions { threads };
     let mut instances = workloads::bench_graphs();
-    instances.extend(workloads::large_graphs_up_to(max_n));
+    instances.extend(workloads::elect_graphs_up_to(max_n));
     instances
         .into_iter()
         .map(|inst| {

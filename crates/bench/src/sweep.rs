@@ -62,11 +62,13 @@ pub struct SweepRecord {
 }
 
 /// Runs every scheme of [`scheme_suite`] on every instance of
-/// [`workloads::bench_graphs`] plus the [`workloads::large_graphs`] tiers
-/// with at most `max_n` nodes, sharing one [`Instance`] per graph, with up
-/// to `threads` `std::thread::scope` workers processing instances in
-/// parallel (each worker owns its instances; the refinement engine itself
-/// runs sequentially inside a worker).
+/// [`workloads::bench_graphs`] plus the [`workloads::elect_graphs_up_to`]
+/// tiers with at most `max_n` nodes (above ~20k nodes only the
+/// low-diameter `random_sparse` family runs — see that function's docs),
+/// sharing one [`Instance`] per graph, with up to `threads`
+/// `std::thread::scope` workers processing instances in parallel (each
+/// worker owns its instances; the refinement engine itself runs
+/// sequentially inside a worker).
 ///
 /// # Panics
 /// Panics if any scheme fails on any instance — every workload instance is
@@ -74,7 +76,7 @@ pub struct SweepRecord {
 /// whole tradeoff curve.
 pub fn run_scheme_sweep(max_n: usize, threads: usize) -> Vec<SweepRecord> {
     let mut instances = workloads::bench_graphs();
-    instances.extend(workloads::large_graphs_up_to(max_n));
+    instances.extend(workloads::elect_graphs_up_to(max_n));
     let workers = threads.clamp(1, instances.len().max(1));
 
     let next = AtomicUsize::new(0);

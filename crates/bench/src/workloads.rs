@@ -66,23 +66,42 @@ pub fn bench_graphs() -> Vec<Instance> {
     out
 }
 
-/// Large-scale instances at roughly n ∈ {1k, 5k, 10k}: rings of cliques
-/// (Theorem 3.2, `φ = 1`), necklaces (Theorem 3.3, `φ = 3`) and sparse random
-/// connected graphs with average degree ≈ 4. Every construction is feasible
-/// by design, so no `election_index` filter runs here — these instances are
-/// consumed by `cargo bench` and the JSON perf sweep only, keeping
-/// `cargo test` fast.
+/// Large-scale instances at n ∈ {~1k, ~5k, ~10k, ~100k, ~1M}: rings of
+/// cliques (Theorem 3.2, `φ = 1`), necklaces (Theorem 3.3, `φ = 3`) and
+/// sparse random connected graphs with average degree ≈ 4. Every
+/// construction is feasible by design, so no `election_index` filter runs
+/// here — these instances are consumed by `cargo bench` and the JSON perf
+/// sweeps only, keeping `cargo test` fast.
 pub fn large_graphs() -> Vec<Instance> {
     large_graphs_up_to(usize::MAX)
 }
 
+/// Ring-of-cliques `(k, x)` parameters per tier: n = k (x + 1). The family
+/// `F(x)` has only `(x-1)^x` distinct cliques, so the 100k/1M tiers need
+/// x = 7 (6⁷ = 279 936 ≥ k); both land on n exactly 10⁵ and 10⁶.
+const RING_TIERS: [(usize, usize); 5] = [(166, 5), (833, 5), (1428, 6), (12_500, 7), (125_000, 7)];
+
+/// Necklace `(k, x)` parameters per tier (φ = 3): n = (2x + 1)k - x + 4.
+/// k must be even and at most `(x-1)^x`, so the 100k/1M tiers use x = 7
+/// (n = 15k - 3).
+const NECKLACE_TIERS: [(usize, usize); 5] = [(92, 5), (454, 5), (910, 5), (6_666, 7), (66_666, 7)];
+
+/// Random sparse `(n, seed)` parameters per tier.
+const RANDOM_TIERS: [(usize, u64); 5] = [
+    (1_000, 101),
+    (5_000, 102),
+    (10_000, 103),
+    (100_000, 104),
+    (1_000_000, 105),
+];
+
 /// The [`large_graphs`] sweep restricted to instances with at most `max_n`
 /// nodes (instances above the cap are never constructed). Used by the CI
-/// smoke run and by tests to exercise only the smallest tier.
+/// smoke run and by tests to exercise only the smallest tiers.
 pub fn large_graphs_up_to(max_n: usize) -> Vec<Instance> {
     let mut out = Vec::new();
     // Ring of cliques H_k with k (x+1)-cliques: n = k (x + 1).
-    for (k, x) in [(166usize, 5usize), (833, 5), (1428, 6)] {
+    for (k, x) in RING_TIERS {
         let n = ring_of_cliques::family_gk_num_nodes(k, x);
         if n <= max_n {
             out.push(Instance {
@@ -91,19 +110,19 @@ pub fn large_graphs_up_to(max_n: usize) -> Vec<Instance> {
             });
         }
     }
-    // Necklaces M_k with x = 5, φ = 3: n = 11k - 1.
-    for k in [92usize, 454, 910] {
-        let params = necklace::NecklaceParams { k, x: 5, phi: 3 };
+    // Necklaces M_k with φ = 3.
+    for (k, x) in NECKLACE_TIERS {
+        let params = necklace::NecklaceParams { k, x, phi: 3 };
         let n = params.num_nodes();
         if n <= max_n {
             out.push(Instance {
-                name: format!("necklace(k={k},x=5,phi=3,n={n})"),
+                name: format!("necklace(k={k},x={x},phi=3,n={n})"),
                 graph: necklace::necklace_base(params),
             });
         }
     }
     // Sparse random connected graphs, average degree ≈ 4.
-    for (n, seed) in [(1000usize, 101u64), (5000, 102), (10000, 103)] {
+    for (n, seed) in RANDOM_TIERS {
         if n <= max_n {
             out.push(Instance {
                 name: format!("random_sparse(n={n},seed={seed})"),
@@ -111,6 +130,30 @@ pub fn large_graphs_up_to(max_n: usize) -> Vec<Instance> {
             });
         }
     }
+    out
+}
+
+/// Instances above this node count are restricted to low-diameter families
+/// in the end-to-end election sweeps.
+const ELECT_STRUCTURED_CAP: usize = 20_000;
+
+/// The workload for the *end-to-end election* sweeps, restricted to
+/// instances with at most `max_n` nodes.
+///
+/// Identical to [`large_graphs_up_to`] through the ≤10k tiers; above the
+/// structured cap (20 000 nodes) only the `random_sparse` family remains. Rings
+/// of cliques and necklaces have diameter Θ(n), so an election run on them
+/// produces Θ(n)-long output paths per node — Θ(n²) words in total, which
+/// is infeasible memory and time at 100k+ nodes. Sparse random connected
+/// graphs have diameter O(log n), keeping the full `ComputeAdvice` →
+/// `COM`/`Elect` → verify pipeline near-linear at the 100k and 1M tiers.
+/// The φ/feasibility *analysis* sweep ([`large_graphs_up_to`]) is linear in
+/// `n` for every family (all have stable depth ≤ 3) and keeps all three.
+pub fn elect_graphs_up_to(max_n: usize) -> Vec<Instance> {
+    let mut out = large_graphs_up_to(max_n);
+    out.retain(|inst| {
+        inst.graph.num_nodes() <= ELECT_STRUCTURED_CAP || inst.name.starts_with("random_sparse")
+    });
     out
 }
 
@@ -155,12 +198,73 @@ mod tests {
     }
 
     #[test]
-    fn large_graphs_cover_the_three_scales() {
-        // Target sizes without constructing the graphs.
-        let k_x = [(166usize, 5usize), (833, 5), (1428, 6)];
-        for (k, x) in k_x {
+    fn large_graphs_cover_the_five_scales() {
+        // Target sizes without constructing the graphs: each family must
+        // land one instance in each tier band.
+        let bands: [std::ops::RangeInclusive<usize>; 5] = [
+            990..=1_100,
+            4_500..=5_500,
+            8_500..=11_000,
+            95_000..=105_000,
+            950_000..=1_050_000,
+        ];
+        for (i, (k, x)) in RING_TIERS.iter().enumerate() {
+            let n = ring_of_cliques::family_gk_num_nodes(*k, *x);
+            assert!(bands[i].contains(&n), "ring_of_cliques k={k}: n={n}");
+        }
+        for (i, (k, x)) in NECKLACE_TIERS.iter().enumerate() {
+            let n = necklace::NecklaceParams {
+                k: *k,
+                x: *x,
+                phi: 3,
+            }
+            .num_nodes();
+            assert!(bands[i].contains(&n), "necklace k={k}: n={n}");
+        }
+        for (i, (n, _)) in RANDOM_TIERS.iter().enumerate() {
+            assert!(bands[i].contains(n), "random_sparse n={n}");
+        }
+    }
+
+    #[test]
+    fn elect_graphs_drop_linear_diameter_families_at_scale() {
+        // Same parameter check without constructing any graph: every tier
+        // above the structured cap must be random_sparse.
+        for (k, x) in RING_TIERS {
             let n = ring_of_cliques::family_gk_num_nodes(k, x);
-            assert!((990..=10_000).contains(&n), "ring_of_cliques k={k}: n={n}");
+            assert!(
+                n <= ELECT_STRUCTURED_CAP || n > 90_000,
+                "ring tier n={n} straddles the elect cap"
+            );
+        }
+        // The ≤10k tiers are identical between the two sweeps.
+        let all: Vec<String> = large_graphs_up_to(1100)
+            .into_iter()
+            .map(|i| i.name)
+            .collect();
+        let elect: Vec<String> = elect_graphs_up_to(1100)
+            .into_iter()
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(all, elect);
+    }
+
+    /// The million-node smoke test: builds the full 1M tier and runs the
+    /// φ/feasibility analysis on each instance. Ignored by default (several
+    /// minutes in release, far longer in debug); run in CI's nightly job
+    /// with `cargo test --release -p anet-bench -- --ignored`.
+    #[test]
+    #[ignore = "million-node tier: run with --ignored in release builds"]
+    fn million_node_tier_analyzes_and_is_feasible() {
+        let tier: Vec<Instance> = large_graphs_up_to(1_050_000)
+            .into_iter()
+            .filter(|inst| inst.graph.num_nodes() > 900_000)
+            .collect();
+        assert_eq!(tier.len(), 3);
+        for inst in &tier {
+            let n = inst.graph.num_nodes();
+            assert!(n >= 999_000, "{}: n = {n}", inst.name);
+            assert!(election_index(&inst.graph).is_some(), "{}", inst.name);
         }
     }
 }

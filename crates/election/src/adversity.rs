@@ -135,7 +135,7 @@ impl Instance<'_> {
             .ok_or_else(|| first_unhalted(&outcome.outputs))?;
 
         let ids = collect_deposits(&acquired.lock())?;
-        let outputs = outputs_from_view_ids(&decoded, &mut arena.lock(), &ids)?;
+        let outputs = outputs_from_view_ids(&decoded, &arena, &ids)?;
         let leader = verify_election(g, &outputs)?;
         Ok(AdversityOutcome {
             leader,

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use anet_advice::{codec, BitString, LabeledTree, Trie};
 use anet_graph::{algo, Graph, NodeId};
-use anet_views::{election_index, AugmentedView, ViewArena, ViewId};
+use anet_views::{election_index, AugmentedView, ShardedViewArena, ViewId};
 
 use crate::error::ElectionError;
 use crate::labels::{
@@ -95,13 +95,13 @@ pub fn compute_advice(g: &Graph) -> Result<Advice, ElectionError> {
 /// The core of `ComputeAdvice(G)` on an already-analyzed graph: `phi` is the
 /// election index and `levels[d][v]` is the interned id of `B^d(v)` in
 /// `arena` for every depth `0..=phi` (the shape
-/// [`ViewArena::compute_levels`] produces). Called by
+/// [`ShardedViewArena::compute_levels`] produces). Called by
 /// [`Instance::advice`](crate::Instance::advice) against the session's
 /// shared arena.
 pub(crate) fn compute_advice_in(
     g: &Graph,
     phi: usize,
-    arena: &mut ViewArena,
+    arena: &ShardedViewArena,
     levels: &[Vec<ViewId>],
 ) -> Advice {
     debug_assert!(phi >= 1);
@@ -313,8 +313,8 @@ fn distinct_sorted(views: &[AugmentedView]) -> Vec<AugmentedView> {
 
 /// Deduplicates and canonically sorts a collection of interned views (the
 /// arena analogue of [`distinct_sorted`]: id dedup after a
-/// [`ViewArena::cmp_views`] sort).
-fn distinct_sorted_ids(arena: &ViewArena, ids: &[ViewId]) -> Vec<ViewId> {
+/// [`ShardedViewArena::cmp_views`] sort).
+fn distinct_sorted_ids(arena: &ShardedViewArena, ids: &[ViewId]) -> Vec<ViewId> {
     let mut out = ids.to_vec();
     out.sort_by(|&a, &b| arena.cmp_views(a, b));
     out.dedup();

@@ -16,8 +16,9 @@
 //!
 //! ## Scaling notes
 //!
-//! The simulation exchanges hash-consed [`ViewId`]s against a shared
-//! [`ViewArena`] (see [`anet_sim::com`]), so a round moves `O(m)` words
+//! The simulation exchanges hash-consed [`ViewId`]s against a shared,
+//! mutex-striped [`ShardedViewArena`] (see [`anet_sim::com`]), so a round
+//! moves `O(m)` words
 //! instead of `O(m · Δ^round)` tree nodes. Three further purely-local
 //! computations are hoisted out of the per-node closures and shared —
 //! none of them changes any node's output, because all three are
@@ -39,7 +40,7 @@ use std::sync::Arc;
 use anet_advice::BitString;
 use anet_graph::{Graph, NodeId, PortPath};
 use anet_sim::{ComNode, RunStats, SharedViewArena, SyncRunner};
-use anet_views::{AugmentedView, ViewArena, ViewId};
+use anet_views::{AugmentedView, ShardedViewArena, ViewId};
 use parking_lot::Mutex;
 
 use crate::advice_build::{decode_advice, Advice, DecodedAdvice};
@@ -151,7 +152,7 @@ pub fn elect_all_with_advice(g: &Graph, advice: &Advice) -> Result<ElectionOutco
 /// `COM(0..φ)` over the shared view arena, label every node's acquired
 /// `B^φ(u)` and emit its tree path to the leader.
 pub fn simulate_election(g: &Graph, advice: &Advice) -> Result<Simulation, ElectionError> {
-    simulate_election_in(g, &advice.bits, &Arc::new(Mutex::new(ViewArena::new())))
+    simulate_election_in(g, &advice.bits, &Arc::new(ShardedViewArena::new()))
 }
 
 /// [`simulate_election`] from the raw advice bit string, interning against
@@ -189,8 +190,7 @@ pub fn simulate_election_in(
     // Phase 2: the purely local output computation (shared across nodes;
     // see the module docs for why this does not change any node's output).
     let ids = collect_deposits(&acquired.lock())?;
-    let mut arena = arena.lock();
-    let outputs = outputs_from_view_ids(&decoded, &mut arena, &ids)?;
+    let outputs = outputs_from_view_ids(&decoded, arena, &ids)?;
     Ok(Simulation {
         outputs,
         time,
@@ -217,7 +217,7 @@ pub(crate) fn collect_deposits(deposited: &[Option<ViewId>]) -> Result<Vec<ViewI
 /// matter which execution model delivered them.
 pub(crate) fn outputs_from_view_ids(
     decoded: &DecodedAdvice,
-    arena: &mut ViewArena,
+    arena: &ShardedViewArena,
     ids: &[ViewId],
 ) -> Result<Vec<PortPath>, ElectionError> {
     let mut memo = LabelMemo::new();

@@ -14,7 +14,7 @@
 //! [`bin_b1`].
 
 use anet_advice::{codec, BitString};
-use anet_views::{AugmentedView, ViewArena, ViewId};
+use anet_views::{AugmentedView, ShardedViewArena, ViewId};
 
 /// The paper's binary representation `bin(B^1(v))` of a view of depth at
 /// least 1 (only the depth-1 truncation is encoded).
@@ -54,13 +54,13 @@ pub fn bin_b1_len(view: &AugmentedView) -> usize {
 ///
 /// # Panics
 /// Panics if the view has depth 0.
-pub fn bin_b1_arena(arena: &ViewArena, id: ViewId) -> BitString {
+pub fn bin_b1_arena(arena: &ShardedViewArena, id: ViewId) -> BitString {
     assert!(
         arena.depth(id) >= 1,
         "bin(B^1) needs a view of depth at least 1"
     );
-    let triples: Vec<BitString> = arena
-        .children(id)
+    let children = arena.children(id);
+    let triples: Vec<BitString> = children
         .iter()
         .enumerate()
         .map(|(j, &(a_j, sub))| {
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn arena_encoding_matches_tree_encoding() {
         let g = generators::lollipop(4, 3);
-        let mut arena = ViewArena::new();
+        let arena = ShardedViewArena::new();
         let levels = arena.compute_levels(&g, 2);
         let trees1 = AugmentedView::compute_all(&g, 1);
         let trees2 = AugmentedView::compute_all(&g, 2);

@@ -36,8 +36,9 @@ use std::sync::Arc;
 
 use anet_graph::{algo, Graph};
 use anet_sim::SharedViewArena;
-use anet_views::{ClassId, FeasibilityReport, RefineOptions, ViewArena, ViewClasses, ViewId};
-use parking_lot::Mutex;
+use anet_views::{
+    ClassId, FeasibilityReport, RefineOptions, ShardedViewArena, ViewClasses, ViewId,
+};
 
 use crate::advice_build::{compute_advice_in, Advice};
 use crate::error::ElectionError;
@@ -56,7 +57,7 @@ pub struct ComputeCounts {
     pub class_deepenings: usize,
     /// All-pairs BFS sweeps (eccentricities; the diameter is their max).
     pub eccentricities: usize,
-    /// Arena view-level computations (`ViewArena::compute_levels`).
+    /// Arena view-level computations (`ShardedViewArena::compute_levels`).
     pub levels: usize,
     /// Full `ComputeAdvice` constructions.
     pub advice: usize,
@@ -92,16 +93,17 @@ impl<'g> Instance<'g> {
     }
 
     /// [`new`](Instance::new) with explicit refinement-engine options
-    /// (e.g. a thread count for the parallel key-fill phase on large
-    /// graphs). This is the single place options enter the election layer;
-    /// every analysis and every scheme run on this instance uses them.
+    /// (e.g. a thread count for the parallel refinement and view-level
+    /// passes on large graphs). This is the single place options enter the
+    /// election layer; every analysis and every scheme run on this instance
+    /// uses them.
     pub fn with_options(graph: &'g Graph, opts: RefineOptions) -> Self {
         Instance {
             graph,
             opts,
             analysis: RefCell::new(None),
             eccentricities: OnceCell::new(),
-            arena: Arc::new(Mutex::new(ViewArena::new())),
+            arena: Arc::new(ShardedViewArena::new()),
             levels: OnceCell::new(),
             advice: OnceCell::new(),
             counts: Cell::new(ComputeCounts::default()),
@@ -236,7 +238,8 @@ impl<'g> Instance<'g> {
         let phi = self.phi()?;
         Ok(self.levels.get_or_init(|| {
             self.bump(|c| c.levels += 1);
-            self.arena.lock().compute_levels(self.graph, phi)
+            self.arena
+                .compute_levels_with(self.graph, phi, self.opts.threads)
         }))
     }
 
@@ -253,12 +256,7 @@ impl<'g> Instance<'g> {
             .get_or_init(|| {
                 let (phi, levels) = deps?;
                 self.bump(|c| c.advice += 1);
-                Ok(compute_advice_in(
-                    self.graph,
-                    phi,
-                    &mut self.arena.lock(),
-                    levels,
-                ))
+                Ok(compute_advice_in(self.graph, phi, &self.arena, levels))
             })
             .as_ref()
             .map_err(Clone::clone)

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet};
 
 use anet_advice::{codec, BitString, Trie};
-use anet_views::{AugmentedView, ViewArena, ViewId};
+use anet_views::{AugmentedView, ShardedViewArena, ViewId};
 
 use crate::encoding::{bin_b1, bin_b1_arena};
 
@@ -198,37 +198,62 @@ pub fn discriminatory_index_and_subview(s: &[AugmentedView]) -> (usize, Augmente
 // Arena-based label engine.
 //
 // The functions below answer the same discrimination queries as their
-// tree-based counterparts above, but against hash-consed `ViewId`s: equality
-// of subviews is id equality (O(1)), the canonical order is
-// `ViewArena::cmp_views`, and `bin(B^1)` queries read the `O(Δ)` arena
-// record directly. `retrieve_label_arena` additionally memoizes per distinct
-// view and replaces the `Θ(label)` summation loop of the pseudocode by an
-// `O(|L|)` closed form, which is what makes labeling all n nodes of a
-// 10k-node graph feasible. The tree-based functions remain the oracle: on
-// interned copies of the same views both engines produce identical labels
-// and identical tries (asserted by unit and property tests).
+// tree-based counterparts above, but against hash-consed `ViewId`s of a
+// [`ShardedViewArena`]: equality of subviews is id equality (O(1)), the
+// canonical order is `ShardedViewArena::cmp_views`, and `bin(B^1)` queries
+// read the `O(Δ)` arena record directly. All arena methods take `&self`
+// (the sharding hides the interior locking), so the label engine threads a
+// plain shared reference. `retrieve_label_arena` additionally memoizes per
+// distinct view and replaces the `Θ(label)` summation loop of the
+// pseudocode by an `O(|L|)` closed form, which is what makes labeling all n
+// nodes of a million-node graph feasible. The tree-based functions remain
+// the oracle: on interned copies of the same views both engines produce
+// identical labels and identical tries (asserted by unit and property
+// tests).
 // ---------------------------------------------------------------------------
 
-/// A memo of `RetrieveLabel` results per distinct view, shared across all
-/// label queries of one advice computation or one election run.
+/// The per-operation memo caches of the arena label engine, shared across
+/// all label queries of one advice computation or one election run.
 ///
-/// An entry, once computed, stays valid while `E2` grows deeper entries: the
-/// label of a depth-`d` view only consults `E2` entries for depths `<= d`,
-/// and `ComputeAdvice` finalizes those before labeling any depth-`d` view.
-pub type LabelMemo = HashMap<ViewId, u64>;
+/// * `labels` — `RetrieveLabel` results per distinct view. An entry, once
+///   computed, stays valid while `E2` grows deeper entries: the label of a
+///   depth-`d` view only consults `E2` entries for depths `<= d`, and
+///   `ComputeAdvice` finalizes those before labeling any depth-`d` view.
+/// * `bins` — the paper-exact `bin(B^1)` code per distinct depth-1 view
+///   (the hot pure operation of the depth-1 trie machinery, in the same
+///   spirit as the arena's internal `truncate_one`/`cmp_views` memo
+///   caches). A view's code is immutable, so entries never invalidate.
+#[derive(Debug, Default)]
+pub struct LabelMemo {
+    pub(crate) labels: HashMap<ViewId, u64>,
+    pub(crate) bins: HashMap<ViewId, BitString>,
+}
+
+impl LabelMemo {
+    /// Creates empty caches.
+    pub fn new() -> Self {
+        LabelMemo::default()
+    }
+}
 
 /// `LocalLabel(B, X, T)` — Algorithm 2 — against an arena view. Identical
 /// query semantics to [`local_label`]; depth-1 queries read
 /// [`bin_b1_arena`] instead of materializing
 /// the view, and the `bin(B^1)` code is computed once per call rather than
 /// once per visited trie node.
-pub fn local_label_arena(arena: &ViewArena, id: ViewId, x: &[u64], t: &Trie) -> u64 {
+pub fn local_label_arena(arena: &ShardedViewArena, id: ViewId, x: &[u64], t: &Trie) -> u64 {
     // Only depth-1 queries (empty X) consult the binary representation.
     let bits = if x.is_empty() && !t.is_leaf() {
         Some(bin_b1_arena(arena, id))
     } else {
         None
     };
+    local_label_walk(bits.as_ref(), x, t)
+}
+
+/// The shared trie walk of [`local_label_arena`]: answers queries from the
+/// precomputed `bin(B^1)` code (when present) or the child-label list `x`.
+fn local_label_walk(bits: Option<&BitString>, x: &[u64], t: &Trie) -> u64 {
     let mut t = t;
     let mut label = 1u64;
     loop {
@@ -236,7 +261,7 @@ pub fn local_label_arena(arena: &ViewArena, id: ViewId, x: &[u64], t: &Trie) -> 
             Trie::Leaf => return label,
             Trie::Internal { query, left, right } => {
                 let (qx, qy) = *query;
-                let go_left = match &bits {
+                let go_left = match bits {
                     Some(bits) => {
                         if qx == 0 {
                             // "Is the binary representation shorter than y?"
@@ -274,19 +299,29 @@ pub fn local_label_arena(arena: &ViewArena, id: ViewId, x: &[u64], t: &Trie) -> 
 /// `j < label` contributes `num_leaves(T_j)`, and `j == label` contributes
 /// the `LocalLabel` query — `O(|L|)` instead of `Θ(label)` per view.
 pub fn retrieve_label_arena(
-    arena: &mut ViewArena,
+    arena: &ShardedViewArena,
     id: ViewId,
     e1: &Trie,
     e2: &NestedList,
     memo: &mut LabelMemo,
 ) -> u64 {
-    if let Some(&label) = memo.get(&id) {
+    if let Some(&label) = memo.labels.get(&id) {
         return label;
     }
     let d = arena.depth(id);
     assert!(d >= 1, "RetrieveLabel requires a view of positive depth");
     let label = if d == 1 {
-        local_label_arena(arena, id, &[], e1)
+        if e1.is_leaf() {
+            1
+        } else {
+            // The bin(B^1) code is pure per view: serve it from the memo
+            // cache so repeated depth-1 labelings skip the re-encode.
+            let bits = memo
+                .bins
+                .entry(id)
+                .or_insert_with(|| bin_b1_arena(arena, id));
+            local_label_walk(Some(bits), &[], e1)
+        }
     } else {
         // Labels of the children (the depth-(d-1) views of the neighbors),
         // in port order.
@@ -325,7 +360,7 @@ pub fn retrieve_label_arena(
         }
         sum
     };
-    memo.insert(id, label);
+    memo.labels.insert(id, label);
     label
 }
 
@@ -333,32 +368,33 @@ pub fn retrieve_label_arena(
 /// same trie as [`build_trie`] on the materialized views of `s`: the splits,
 /// queries and recursion order are identical, with subview equality answered
 /// by id comparison and the canonical order by
-/// [`ViewArena::cmp_views`].
+/// [`ShardedViewArena::cmp_views`].
 pub fn build_trie_arena(
-    arena: &mut ViewArena,
+    arena: &ShardedViewArena,
     s: &[ViewId],
     e1: Option<&Trie>,
     e2: &NestedList,
     memo: &mut LabelMemo,
 ) -> Trie {
-    // The bin(B^1) codes are fixed per view; computing them once up front
-    // spares every recursion level of the depth-1 branch a re-encode.
-    let mut bins: HashMap<ViewId, BitString> = HashMap::new();
+    // The bin(B^1) codes are fixed per view; materializing them into the
+    // shared memo cache up front spares every recursion level of the
+    // depth-1 branch a re-encode (and later label queries reuse them).
     if e1.is_none() {
         for &id in s {
-            bins.entry(id).or_insert_with(|| bin_b1_arena(arena, id));
+            memo.bins
+                .entry(id)
+                .or_insert_with(|| bin_b1_arena(arena, id));
         }
     }
-    build_trie_arena_inner(arena, s, e1, e2, memo, &bins)
+    build_trie_arena_inner(arena, s, e1, e2, memo)
 }
 
 fn build_trie_arena_inner(
-    arena: &mut ViewArena,
+    arena: &ShardedViewArena,
     s: &[ViewId],
     e1: Option<&Trie>,
     e2: &NestedList,
     memo: &mut LabelMemo,
-    bin_cache: &HashMap<ViewId, BitString>,
 ) -> Trie {
     assert!(!s.is_empty(), "BuildTrie requires a non-empty set");
     if s.len() == 1 {
@@ -366,7 +402,7 @@ fn build_trie_arena_inner(
     }
     let (val, s_prime, s_rest): ((u64, u64), Vec<ViewId>, Vec<ViewId>) = match e1 {
         None => {
-            let bins: Vec<&BitString> = s.iter().map(|id| &bin_cache[id]).collect();
+            let bins: Vec<&BitString> = s.iter().map(|id| &memo.bins[id]).collect();
             let max = bins.iter().map(|b| b.len()).max().unwrap();
             let min = bins.iter().map(|b| b.len()).min().unwrap();
             if min < max {
@@ -392,7 +428,11 @@ fn build_trie_arena_inner(
             let mut s_prime = Vec::new();
             let mut s_rest = Vec::new();
             for &v in s {
-                if arena.children(v)[index].1 != b_disc {
+                // `index` is a valid port of every view in `s` (all share the
+                // same degree); a hypothetical out-of-range port lands the
+                // view in `s_prime`, matching the tree oracle's index panic
+                // domain never being reached.
+                if arena.child(v, index).map(|(_, c)| c) != Some(b_disc) {
                     s_prime.push(v);
                 } else {
                     s_rest.push(v);
@@ -405,8 +445,8 @@ fn build_trie_arena_inner(
     debug_assert!(!s_prime.is_empty() && !s_rest.is_empty());
     Trie::internal(
         val,
-        build_trie_arena_inner(arena, &s_prime, e1, e2, memo, bin_cache),
-        build_trie_arena_inner(arena, &s_rest, e1, e2, memo, bin_cache),
+        build_trie_arena_inner(arena, &s_prime, e1, e2, memo),
+        build_trie_arena_inner(arena, &s_rest, e1, e2, memo),
     )
 }
 
@@ -433,7 +473,10 @@ fn partition_preserving_order(
 /// The discriminatory index and discriminatory subview (Section 3) of a set
 /// of at least two distinct arena views of depth `>= 2` — the arena
 /// counterpart of [`discriminatory_index_and_subview`].
-pub fn discriminatory_index_and_subview_arena(arena: &ViewArena, s: &[ViewId]) -> (usize, ViewId) {
+pub fn discriminatory_index_and_subview_arena(
+    arena: &ShardedViewArena,
+    s: &[ViewId],
+) -> (usize, ViewId) {
     assert!(s.len() >= 2);
     assert!(
         arena.depth(s[0]) >= 2,
@@ -603,13 +646,13 @@ mod tests {
             distinct.dedup();
             let oracle_trie = build_trie(&distinct, None, &Vec::new());
 
-            let mut arena = ViewArena::new();
+            let arena = ShardedViewArena::new();
             let levels = arena.compute_levels(&g, 1);
             let mut ids: Vec<ViewId> = levels[1].clone();
             ids.sort_by(|&a, &b| arena.cmp_views(a, b));
             ids.dedup();
             let mut memo = LabelMemo::new();
-            let arena_trie = build_trie_arena(&mut arena, &ids, None, &Vec::new(), &mut memo);
+            let arena_trie = build_trie_arena(&arena, &ids, None, &Vec::new(), &mut memo);
             assert_eq!(arena_trie, oracle_trie, "E1 tries must be identical");
 
             for v in g.nodes() {
@@ -619,13 +662,7 @@ mod tests {
                     "depth-1 label of node {v}"
                 );
                 assert_eq!(
-                    retrieve_label_arena(
-                        &mut arena,
-                        levels[1][v],
-                        &arena_trie,
-                        &Vec::new(),
-                        &mut memo
-                    ),
+                    retrieve_label_arena(&arena, levels[1][v], &arena_trie, &Vec::new(), &mut memo),
                     retrieve_label(&views[v], &oracle_trie, &Vec::new())
                 );
             }
@@ -655,18 +692,12 @@ mod tests {
         ));
 
         let views = AugmentedView::compute_all(&g, advice.phi);
-        let mut arena = ViewArena::new();
+        let arena = ShardedViewArena::new();
         let levels = arena.compute_levels(&g, advice.phi);
         let mut memo = LabelMemo::new();
         for v in g.nodes() {
             assert_eq!(
-                retrieve_label_arena(
-                    &mut arena,
-                    levels[advice.phi][v],
-                    &advice.e1,
-                    &e2,
-                    &mut memo
-                ),
+                retrieve_label_arena(&arena, levels[advice.phi][v], &advice.e1, &e2, &mut memo),
                 retrieve_label(&views[v], &advice.e1, &e2),
                 "node {v}"
             );
@@ -678,7 +709,7 @@ mod tests {
         let g = generators::lollipop(4, 4);
         let views2 = AugmentedView::compute_all(&g, 2);
         let views1 = AugmentedView::compute_all(&g, 1);
-        let mut arena = ViewArena::new();
+        let arena = ShardedViewArena::new();
         let levels = arena.compute_levels(&g, 2);
         for u in g.nodes() {
             for v in g.nodes() {

@@ -258,12 +258,12 @@ mod tests {
     use crate::fault::CrashEvent;
     use crate::runner::SyncRunner;
     use anet_graph::generators;
-    use anet_views::ViewArena;
+    use anet_views::ShardedViewArena;
     use parking_lot::Mutex;
     use std::sync::Arc;
 
     fn com_outcome_sync(g: &anet_graph::Graph, depth: usize) -> RunOutcome {
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         SyncRunner::new(g, depth + 1)
             .run(|_| ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty()))
             .unwrap()
@@ -276,7 +276,7 @@ mod tests {
         plan: &FaultPlan,
         threads: usize,
     ) -> RunOutcome {
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         AdvRunner::with_threads(g, max_rounds, threads)
             .run(plan, |_slot, _deg| {
                 ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty())

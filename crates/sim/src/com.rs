@@ -19,12 +19,13 @@
 //!
 //! A materialized view tree grows like `Δ^depth`, so shipping explicit
 //! [`AugmentedView`]s caps the exchange at toy graphs. [`ComNode`] instead
-//! exchanges [`ViewId`]s against a [`ViewArena`] shared by all nodes of one
-//! run: a message is two words (`sender_port` + the id of the sender's
-//! current view), and assembling `B^{i+1}` interns one `O(Δ)`-word record.
-//! Per round the whole network therefore moves `O(m)` words and performs
-//! `O(m)` amortized work, instead of `O(m · Δ^round)` — which is what lets
-//! the election pipeline run on the 10k-node benchmark graphs.
+//! exchanges [`ViewId`]s against a [`ShardedViewArena`] shared by all nodes
+//! of one run: a message is two words (`sender_port` + the id of the
+//! sender's current view), and assembling `B^{i+1}` interns one
+//! `O(Δ)`-word record. Per round the whole network therefore moves `O(m)`
+//! words and performs `O(m)` amortized work, instead of `O(m · Δ^round)` —
+//! which is what lets the election pipeline run on the million-node
+//! benchmark graphs.
 //!
 //! The shared arena is a *simulation device*, not an information channel: a
 //! node only ever dereferences ids it received on its ports or interned
@@ -33,12 +34,14 @@
 //! [`TreeComNode`] / [`exchange_views_tree`] and is the correctness oracle
 //! the property tests compare against.
 //!
-//! Note that [`ComNode::receive`](crate::runner::NodeAlgorithm::receive)
-//! interns under the shared arena's mutex, so running `ComNode` through the
-//! multi-threaded `ParallelRunner` serializes the receive phase — it stays
-//! correct (the transcript-equality tests cover it) but buys no speedup.
-//! The `O(m)`-per-round arena exchange is fast enough sequentially that the
-//! election pipeline simply uses [`SyncRunner`].
+//! Because the shared arena is mutex-*striped* (16 independent shards keyed
+//! by the structural hash) rather than a single mutex, concurrent
+//! [`ComNode::receive`](crate::runner::NodeAlgorithm::receive) calls from
+//! the multi-threaded `ParallelRunner` intern in parallel with low
+//! contention. Interleaving can change the *numeric* ids a run mints, but
+//! never which records exist — every structural observable (materialized
+//! views, class partitions, election outputs) is schedule-independent,
+//! which the transcript-equality and arena-oracle property tests pin down.
 //!
 //! ```
 //! use anet_graph::generators;
@@ -69,14 +72,16 @@
 use std::sync::Arc;
 
 use anet_graph::{Graph, PortPath};
-use anet_views::{AugmentedView, ViewArena, ViewId};
+use anet_views::{AugmentedView, ShardedViewArena, ViewId};
 use parking_lot::Mutex;
 
 use crate::error::SimError;
 use crate::runner::{NodeAlgorithm, SyncRunner};
 
-/// The view arena shared by all node instances of one `COM` run.
-pub type SharedViewArena = Arc<Mutex<ViewArena>>;
+/// The view arena shared by all node instances of one `COM` run. The arena
+/// is internally striped, so node instances intern through a plain `Arc` —
+/// no outer lock.
+pub type SharedViewArena = Arc<ShardedViewArena>;
 
 /// The message exchanged by `COM`: the sender's current view (as an arena
 /// id) together with the sender-side port number of the edge it is sent on.
@@ -96,7 +101,7 @@ pub struct ViewMessage {
 /// output.
 pub struct ComNode<F>
 where
-    F: FnMut(&mut ViewArena, ViewId) -> PortPath,
+    F: FnMut(&ShardedViewArena, ViewId) -> PortPath,
 {
     arena: SharedViewArena,
     degree: usize,
@@ -112,7 +117,7 @@ where
 
 impl<F> ComNode<F>
 where
-    F: FnMut(&mut ViewArena, ViewId) -> PortPath,
+    F: FnMut(&ShardedViewArena, ViewId) -> PortPath,
 {
     /// Creates a node that exchanges views for `target_depth` rounds through
     /// the shared `arena` and then outputs `finish(arena, B^target_depth(u))`.
@@ -135,14 +140,14 @@ where
 
 impl<F> NodeAlgorithm for ComNode<F>
 where
-    F: FnMut(&mut ViewArena, ViewId) -> PortPath,
+    F: FnMut(&ShardedViewArena, ViewId) -> PortPath,
 {
     type Message = ViewMessage;
 
     fn init(&mut self, degree: usize) {
         self.degree = degree;
         // B^0(u): a single node labeled by the degree.
-        self.current = Some(self.arena.lock().intern_leaf(degree));
+        self.current = Some(self.arena.intern_leaf(degree));
     }
 
     fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
@@ -172,11 +177,10 @@ where
         if self.stalled {
             return None;
         }
-        let mut arena = self.arena.lock();
         if self.target_depth == 0 {
             // No communication needed: B^0 is known locally.
             let view = self.current?;
-            return Some((self.finish)(&mut arena, view));
+            return Some((self.finish)(&self.arena, view));
         }
         // Assemble B^{round+1}(u) from the B^{round}(neighbor)s received in
         // port order; the child on port p records the neighbor's port of the
@@ -193,10 +197,10 @@ where
                 }
             }
         }
-        let assembled = arena.intern(self.degree, children);
+        let assembled = self.arena.intern(self.degree, children);
         self.current = Some(assembled);
         if round + 1 == self.target_depth {
-            Some((self.finish)(&mut arena, assembled))
+            Some((self.finish)(&self.arena, assembled))
         } else {
             None
         }
@@ -218,8 +222,11 @@ where
 /// tree-shipping oracle [`exchange_views_tree`]. Errors with
 /// [`SimError::Incomplete`] if a node failed to acquire its view (which a
 /// clean synchronous run never does).
-pub fn exchange_view_ids(g: &Graph, depth: usize) -> Result<(ViewArena, Vec<ViewId>), SimError> {
-    let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+pub fn exchange_view_ids(
+    g: &Graph,
+    depth: usize,
+) -> Result<(ShardedViewArena, Vec<ViewId>), SimError> {
+    let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
     let collected: Arc<Mutex<Vec<Option<ViewId>>>> =
         Arc::new(Mutex::new(vec![None; g.num_nodes()]));
     let runner = SyncRunner::new(g, depth + 1);
@@ -240,10 +247,7 @@ pub fn exchange_view_ids(g: &Graph, depth: usize) -> Result<(ViewArena, Vec<View
     // All node instances (each holding an arena handle) were dropped with
     // the runner, so the try_unwrap fast path always succeeds; the clone
     // fallback keeps the function total without asserting on it.
-    let arena = match Arc::try_unwrap(arena) {
-        Ok(m) => m.into_inner(),
-        Err(shared) => shared.lock().clone(),
-    };
+    let arena = Arc::try_unwrap(arena).unwrap_or_else(|shared| (*shared).clone());
     Ok((arena, ids))
 }
 
@@ -446,7 +450,7 @@ mod tests {
     fn exchange_views_depth_equals_rounds_used() {
         let g = generators::ring(6);
         let runner = SyncRunner::new(&g, 10);
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         let outcome = runner
             .run(|_| ComNode::new(Arc::clone(&arena), 3, |_arena, _v| PortPath::empty()))
             .unwrap();
@@ -459,7 +463,7 @@ mod tests {
         let g = generators::clique(5);
         let depth = 3;
         let runner = SyncRunner::new(&g, depth + 1);
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         let flat = runner
             .run(|_| ComNode::new(Arc::clone(&arena), depth, |_a, _v| PortPath::empty()))
             .unwrap();

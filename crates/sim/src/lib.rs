@@ -23,7 +23,8 @@
 //!   rounds every node holds `B^t(v)`; this is both a building block of the
 //!   election algorithms and the executable witness of the "knowledge after
 //!   `r` rounds = `B^r(v)`" claim. The workhorse [`ComNode`] exchanges
-//!   hash-consed view ids against a shared [`anet_views::ViewArena`]
+//!   hash-consed view ids against a shared, mutex-striped
+//!   [`anet_views::ShardedViewArena`]
 //!   (`O(m)` words per round); the literal tree-shipping reading of
 //!   Algorithm 1 survives as [`com::TreeComNode`], the correctness oracle.
 //!

@@ -255,7 +255,7 @@ mod tests {
     use crate::fault::FaultPlan;
     use crate::runner::SyncRunner;
     use anet_graph::generators;
-    use anet_views::ViewArena;
+    use anet_views::ShardedViewArena;
     use parking_lot::Mutex;
     use std::sync::Arc;
 
@@ -266,7 +266,7 @@ mod tests {
         max_rounds: usize,
         linger: usize,
     ) -> Option<(Vec<anet_views::AugmentedView>, crate::runner::RunOutcome)> {
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         let collected: Arc<Mutex<Vec<Option<anet_views::ViewId>>>> =
             Arc::new(Mutex::new(vec![None; g.num_nodes()]));
         let outcome = AdvRunner::new(g, max_rounds)
@@ -284,7 +284,6 @@ mod tests {
         if !outcome.all_halted() {
             return None;
         }
-        let arena = arena.lock();
         let views = collected
             .lock()
             .iter()
@@ -303,7 +302,7 @@ mod tests {
         // depth rounds of COM + halt announcement + linger of 2.
         let sync = SyncRunner::new(&g, depth + 1)
             .run(|_| {
-                ComNode::new(Arc::new(Mutex::new(ViewArena::new())), depth, |_a, _v| {
+                ComNode::new(Arc::new(ShardedViewArena::new()), depth, |_a, _v| {
                     PortPath::empty()
                 })
             })

@@ -159,7 +159,7 @@ mod tests {
     use crate::com::{ComNode, SharedViewArena};
     use crate::runner::SyncRunner;
     use anet_graph::generators;
-    use anet_views::{AugmentedView, ViewArena, ViewId};
+    use anet_views::{AugmentedView, ShardedViewArena, ViewId};
     use parking_lot::Mutex;
     use std::sync::Arc;
 
@@ -172,11 +172,11 @@ mod tests {
         ];
         for g in &graphs {
             for threads in [1, 2, 4] {
-                let arena_seq: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+                let arena_seq: SharedViewArena = Arc::new(ShardedViewArena::new());
                 let seq = SyncRunner::new(g, 10)
                     .run(|_| ComNode::new(Arc::clone(&arena_seq), 2, |_a, _v| PortPath::empty()))
                     .unwrap();
-                let arena_par: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+                let arena_par: SharedViewArena = Arc::new(ShardedViewArena::new());
                 let par = ParallelRunner::new(g, 10, threads)
                     .run(|_| ComNode::new(Arc::clone(&arena_par), 2, |_a, _v| PortPath::empty()))
                     .unwrap();
@@ -191,7 +191,7 @@ mod tests {
     fn parallel_exchange_views_match_central_computation() {
         let g = generators::random_connected(40, 0.08, 5);
         let depth = 2;
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         let collected: Arc<Mutex<Vec<Option<ViewId>>>> =
             Arc::new(Mutex::new(vec![None; g.num_nodes()]));
         let next_slot = Arc::new(Mutex::new(0usize));
@@ -212,7 +212,6 @@ mod tests {
         let outcome = outcome.unwrap();
         assert!(outcome.all_halted());
         let central = AugmentedView::compute_all(&g, depth);
-        let arena = arena.lock();
         let ids = collected.lock();
         for v in g.nodes() {
             assert_eq!(arena.materialize(ids[v].unwrap()), central[v]);
@@ -222,7 +221,7 @@ mod tests {
     #[test]
     fn more_threads_than_nodes_is_fine() {
         let g = generators::path(3);
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         let outcome = ParallelRunner::new(&g, 5, 16)
             .run(|_| ComNode::new(Arc::clone(&arena), 1, |_a, _v| PortPath::empty()))
             .unwrap();

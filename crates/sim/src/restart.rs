@@ -339,7 +339,7 @@ mod tests {
     use crate::fault::{CrashEvent, CrashSemantics, FaultPlan};
     use crate::runner::RunOutcome;
     use anet_graph::generators;
-    use anet_views::{AugmentedView, ViewArena, ViewId};
+    use anet_views::{AugmentedView, ShardedViewArena, ViewId};
     use parking_lot::Mutex;
     use std::sync::Arc;
 
@@ -351,7 +351,7 @@ mod tests {
         stall: usize,
         linger: usize,
     ) -> (RunOutcome, Option<Vec<AugmentedView>>) {
-        let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+        let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
         let collected: Arc<Mutex<Vec<Option<ViewId>>>> =
             Arc::new(Mutex::new(vec![None; g.num_nodes()]));
         let outcome = AdvRunner::new(g, max_rounds)
@@ -374,7 +374,6 @@ mod tests {
         if !outcome.all_halted() {
             return (outcome, None);
         }
-        let arena = arena.lock();
         let views = collected
             .lock()
             .iter()
@@ -449,7 +448,7 @@ mod tests {
             }],
         );
         let run = |threads: usize| {
-            let arena: SharedViewArena = Arc::new(Mutex::new(ViewArena::new()));
+            let arena: SharedViewArena = Arc::new(ShardedViewArena::new());
             AdvRunner::with_threads(&g, 400, threads)
                 .run(&plan, |_slot, _deg| {
                     let arena = Arc::clone(&arena);

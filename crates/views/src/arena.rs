@@ -87,8 +87,23 @@ pub struct ViewId(u32);
 impl ViewId {
     /// The dense index of this id (`0..arena.len()`), usable as a vector
     /// index for side tables keyed by view.
+    ///
+    /// Ids minted by a [`ShardedViewArena`](crate::ShardedViewArena) are
+    /// unique but *not* dense (they pack a shard tag); side tables for those
+    /// use hash maps keyed by the id instead.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuilds an id from its raw bits (the sharded arena packs a shard tag
+    /// and a per-shard local index into the same 32 bits).
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        ViewId(raw)
+    }
+
+    /// The raw bits of this id.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 

@@ -13,6 +13,11 @@
 //!   id, making structural equality `O(1)` and a whole view record `O(Δ)`
 //!   words. The simulator's `COM` exchange and the advice machinery operate
 //!   on arena ids; the explicit trees remain the correctness oracle.
+//! * [`ShardedViewArena`] — the mutex-striped, concurrently-internable
+//!   variant of the arena (per-shard dense id ranges, Cudd-style memo
+//!   caches for `truncate_one` and `cmp_views`). This is the store the
+//!   simulator and the election session actually run on; the sequential
+//!   [`ViewArena`] is its single-threaded oracle.
 //! * [`ViewClasses`] — a partition-refinement table that computes, for every
 //!   depth `d`, the equivalence classes of nodes under `B^d(·)` equality
 //!   *without* materializing the (potentially exponential-size) view trees.
@@ -21,9 +26,11 @@
 //!   lexicographically smallest view at depth `d`".
 //! * [`refine`] — the flat-buffer, sort-based ranking engine behind
 //!   [`ViewClasses`]: a CSR scratch of packed `u64` key words reused across
-//!   depths, counting/radix sorts for the ranking, and an opt-in
-//!   `std::thread::scope` parallel key-fill ([`RefineOptions`]). Scales the
-//!   refinement to graphs with tens of thousands of nodes.
+//!   depths and counting/radix sorts for the ranking. With
+//!   [`RefineOptions::threads`] ` > 1` every stage — key fill, counting
+//!   sort, per-group radix sorts, rank sweep — runs on `std::thread::scope`
+//!   workers with bit-identical output, scaling the refinement to graphs
+//!   with millions of nodes.
 //! * [`election_index()`] — the election index `φ(G)`: the smallest `l` such
 //!   that the augmented truncated views at depth `l` of all nodes are
 //!   distinct (Proposition 2.1), or `None` when the graph is infeasible.
@@ -48,6 +55,7 @@ pub mod arena;
 pub mod classes;
 pub mod election_index;
 pub mod refine;
+pub mod sharded;
 pub mod view;
 pub mod walks;
 
@@ -55,4 +63,5 @@ pub use arena::{ViewArena, ViewId};
 pub use classes::{ClassId, ViewClasses};
 pub use election_index::{election_index, election_index_naive, is_feasible, FeasibilityReport};
 pub use refine::{RefineOptions, Refiner};
+pub use sharded::ShardedViewArena;
 pub use view::AugmentedView;

@@ -27,24 +27,44 @@
 //!   count, which preserves the lexicographic pair order because `c_p < k`.
 //! * `order` / `aux` — `n`-element node-index permutation and its ping-pong
 //!   partner for the sorting passes.
-//! * `counts` — bucket histogram reused by the counting/radix sorts.
+//! * `counts` — bucket histogram reused by the counting/radix sorts, with
+//!   per-thread rows (`thread_counts` / `thread_offsets`) for the parallel
+//!   passes.
 //!
 //! ## Per-depth pass
 //!
 //! One [`Refiner::extend`] call performs, with **zero heap allocation in the
 //! ranking inner loop** (every buffer above is reused across depths):
 //!
-//! 1. *key fill* — one linear sweep writing the packed words
-//!    (`O(m)`; optionally parallelized over node chunks with
-//!    `std::thread::scope`, mirroring `anet-sim`'s parallel executor),
+//! 1. *key fill* — one linear sweep writing the packed words (`O(m)`),
 //! 2. *order* — a stable counting sort of the node indices by degree,
 //!    followed, inside each equal-degree group, by an LSD radix sort over the
 //!    word positions when the packed-word width permits (`Δ · k` buckets
 //!    fitting the reused histogram) or an unstable comparison sort on the
 //!    word slices otherwise,
-//! 3. *rank* — a single scan over the sorted order assigning dense class
-//!    ids; equal adjacent keys share an id, so class ids are exactly the
-//!    ranks of the distinct keys in canonical order.
+//! 3. *rank* — a scan over the sorted order assigning dense class ids;
+//!    equal adjacent keys share an id, so class ids are exactly the ranks of
+//!    the distinct keys in canonical order.
+//!
+//! With [`RefineOptions::threads`] ` > 1` every stage runs on
+//! `std::thread::scope` workers (mirroring `anet-sim`'s parallel executor)
+//! and produces **bit-identical** ranks to the sequential path:
+//!
+//! * the key fill splits the CSR word buffer into disjoint per-chunk slices,
+//! * the degree counting sort becomes the textbook parallel counting sort —
+//!   per-thread local histograms, a sequential `O(threads · Δ)` prefix-sum
+//!   merge establishing every `(chunk, bucket)` run's final position, a
+//!   per-chunk stable local scatter, and a bucket-major merge in which each
+//!   worker owns a contiguous range of buckets (hence a contiguous output
+//!   slice) — stability is preserved because runs concatenate in (bucket,
+//!   chunk, in-chunk) order, which is exactly the sequential visit order,
+//! * the equal-degree groups are batched into contiguous ranges of roughly
+//!   equal element counts, one worker per batch, each with its own histogram
+//!   row (group boundaries never split, so per-group sort results are
+//!   position-for-position those of the sequential pass),
+//! * the rank scan splits into a parallel key-boundary-flag sweep (the
+//!   `O(Δ)`-per-element comparisons) and a sequential `O(n)` prefix
+//!   accumulation over the flags.
 //!
 //! The only per-depth allocation is the returned class row itself, which is
 //! the output stored in the [`ViewClasses`] table.
@@ -63,15 +83,18 @@ const RADIX_MAX_BUCKETS: usize = 1 << 16;
 /// zeroing its histogram range; smaller groups use the comparison sort.
 const RADIX_MIN_GROUP: usize = 256;
 
-/// Minimum node count before the parallel key-fill path is worth the thread
+/// Minimum node count before the parallel paths are worth the thread
 /// spawning overhead.
 const PARALLEL_MIN_NODES: usize = 2048;
 
 /// Tuning knobs for the refinement engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefineOptions {
-    /// Number of worker threads for the per-node key-fill phase. `0` and `1`
-    /// both select the sequential path; ranking itself is always sequential.
+    /// Number of worker threads for one depth extension. `0` and `1` both
+    /// select the sequential path. Larger values parallelize the key fill,
+    /// the counting sort, the per-group radix/comparison sorts and the rank
+    /// boundary sweep; the resulting class rows are bit-identical to the
+    /// sequential path's at every thread count.
     pub threads: usize,
 }
 
@@ -101,11 +124,21 @@ pub struct Refiner {
     /// Bucket histogram for the counting/radix sorts (grown lazily, capped at
     /// [`RADIX_MAX_BUCKETS`]).
     counts: Vec<usize>,
+    /// Per-thread histogram rows for the parallel counting/radix passes.
+    thread_counts: Vec<Vec<usize>>,
+    /// Per-thread write cursors (prefix sums of `thread_counts`) for the
+    /// parallel counting scatter.
+    thread_offsets: Vec<Vec<usize>>,
+    /// Key-boundary flags for the parallel rank sweep.
+    flags: Vec<u8>,
+    /// Equal-degree group bounds collected for the parallel group sorts.
+    group_bounds: Vec<(usize, usize)>,
 }
 
 impl Refiner {
     /// Allocates scratch sized for `g`; the only allocations the engine ever
-    /// performs besides the per-depth output rows.
+    /// performs besides the per-depth output rows (the per-thread rows grow
+    /// lazily on the first parallel pass).
     pub fn new(g: &Graph) -> Self {
         let n = g.num_nodes();
         let mut offsets = Vec::with_capacity(n + 1);
@@ -122,13 +155,18 @@ impl Refiner {
             order: vec![0; n],
             aux: vec![0; n],
             counts: Vec::new(),
+            thread_counts: Vec::new(),
+            thread_offsets: Vec::new(),
+            flags: Vec::new(),
+            group_bounds: Vec::new(),
         }
     }
 
     /// Depth-0 ranking: dense ranks of the node degrees (the depth-0 key is
-    /// the degree alone). Returns the class row and the class count.
+    /// the degree alone). Returns the class row and the class count. One
+    /// `O(n)` counting pass — always sequential.
     pub fn rank_by_degree(&mut self, g: &Graph) -> (Vec<ClassId>, usize) {
-        self.sort_by_degree(g);
+        self.sort_by_degree(g, 1);
         let mut ranks = vec![0; self.n];
         let mut k = 0;
         if self.n > 0 {
@@ -157,16 +195,16 @@ impl Refiner {
         opts: &RefineOptions,
     ) -> (Vec<ClassId>, usize) {
         debug_assert_eq!(prev.len(), self.n);
-        self.fill_keys(g, prev, k_prev, opts);
-        self.sort_by_degree(g);
-        self.sort_groups_by_words(g, k_prev);
-        self.rank_sorted()
+        let threads = opts.threads.max(1);
+        self.fill_keys(g, prev, k_prev, threads);
+        self.sort_by_degree(g, threads);
+        self.sort_groups_by_words(g, k_prev, threads);
+        self.rank_sorted(threads)
     }
 
     /// Key fill: `words[offsets[v] + p] = q_p * k_prev + c_p`.
-    fn fill_keys(&mut self, g: &Graph, prev: &[ClassId], k_prev: usize, opts: &RefineOptions) {
+    fn fill_keys(&mut self, g: &Graph, prev: &[ClassId], k_prev: usize, threads: usize) {
         let k = k_prev as u64;
-        let threads = opts.threads.max(1);
         if threads <= 1 || self.n < PARALLEL_MIN_NODES {
             for v in 0..self.n {
                 let base = self.offsets[v];
@@ -204,24 +242,163 @@ impl Refiner {
         });
     }
 
-    /// Stable counting sort of `order` by degree (the primary key component).
-    fn sort_by_degree(&mut self, g: &Graph) {
+    /// Stable counting sort of `order` by degree (the primary key
+    /// component). With `threads > 1` this is the parallel counting sort
+    /// described in the [module docs](self); its output is bit-identical to
+    /// the sequential pass.
+    fn sort_by_degree(&mut self, g: &Graph, threads: usize) {
         let buckets = g.max_degree() + 1;
+        let threads = threads.max(1).min(self.n.max(1));
+        if threads <= 1 || self.n < PARALLEL_MIN_NODES || buckets > RADIX_MAX_BUCKETS {
+            self.reset_counts(buckets);
+            for v in 0..self.n {
+                self.counts[g.degree(v)] += 1;
+            }
+            prefix_sums(&mut self.counts[..buckets]);
+            for v in 0..self.n {
+                let slot = &mut self.counts[g.degree(v)];
+                self.order[*slot] = v;
+                *slot += 1;
+            }
+            return;
+        }
+        self.parallel_sort_by_degree(g, buckets, threads);
+    }
+
+    /// The four-phase parallel counting sort: per-chunk histograms, local
+    /// stable scatters into `aux`, a sequential global prefix merge, and a
+    /// bucket-major parallel merge back into `order`.
+    fn parallel_sort_by_degree(&mut self, g: &Graph, buckets: usize, threads: usize) {
+        let n = self.n;
+        let chunk = n.div_ceil(threads);
+        let used = n.div_ceil(chunk);
+        self.ensure_thread_rows(used, buckets);
+        // Phase 1 (parallel): per-chunk degree histograms.
+        std::thread::scope(|scope| {
+            for (t, row) in self.thread_counts.iter_mut().take(used).enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    for v in lo..hi {
+                        row[g.degree(v)] += 1;
+                    }
+                });
+            }
+        });
+        // Phase 2 (parallel): stable per-chunk counting sort into `aux`,
+        // each chunk scattering through its own exclusive-prefix cursors.
+        {
+            let Refiner {
+                aux,
+                thread_counts,
+                thread_offsets,
+                ..
+            } = self;
+            std::thread::scope(|scope| {
+                let mut rest: &mut [NodeId] = aux;
+                for (t, (row, offs)) in thread_counts
+                    .iter()
+                    .zip(thread_offsets.iter_mut())
+                    .take(used)
+                    .enumerate()
+                {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    let (mine, tail) = rest.split_at_mut(hi - lo);
+                    rest = tail;
+                    scope.spawn(move || {
+                        let mut running = 0usize;
+                        for b in 0..buckets {
+                            offs[b] = running;
+                            running += row[b];
+                        }
+                        for v in lo..hi {
+                            let slot = &mut offs[g.degree(v)];
+                            mine[*slot] = v;
+                            *slot += 1;
+                        }
+                    });
+                }
+            });
+        }
+        // Phase 3 (sequential, O(threads · buckets)): global bucket starts.
         self.reset_counts(buckets);
-        for v in 0..self.n {
-            self.counts[g.degree(v)] += 1;
+        for row in self.thread_counts.iter().take(used) {
+            for (count, &c) in self.counts.iter_mut().zip(&row[..buckets]) {
+                *count += c;
+            }
         }
         prefix_sums(&mut self.counts[..buckets]);
-        for v in 0..self.n {
-            let slot = &mut self.counts[g.degree(v)];
-            self.order[*slot] = v;
-            *slot += 1;
+        // Phase 4 (parallel): merge the per-chunk runs bucket-major into
+        // `order`. Each worker owns a contiguous range of buckets, hence a
+        // contiguous output slice; within a bucket, runs concatenate in
+        // chunk order, which is the original index order — stability.
+        let mut bucket_cuts: Vec<usize> = vec![0];
+        let target = n.div_ceil(used);
+        let mut next_target = target;
+        let mut last_cut = 0usize;
+        for b in 1..buckets {
+            if self.counts[b] >= next_target && last_cut < b {
+                bucket_cuts.push(b);
+                last_cut = b;
+                next_target = self.counts[b] + target;
+            }
         }
+        bucket_cuts.push(buckets);
+        let Refiner {
+            order,
+            aux,
+            counts,
+            thread_counts,
+            thread_offsets,
+            ..
+        } = self;
+        let aux: &[NodeId] = aux;
+        let thread_counts: &[Vec<usize>] = thread_counts;
+        let thread_offsets: &[Vec<usize>] = thread_offsets;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [NodeId] = order;
+            let mut consumed = 0usize;
+            for w in bucket_cuts.windows(2) {
+                let (blo, bhi) = (w[0], w[1]);
+                let end = if bhi < buckets { counts[bhi] } else { n };
+                if end == consumed {
+                    continue;
+                }
+                let (mine, tail) = rest.split_at_mut(end - consumed);
+                rest = tail;
+                consumed = end;
+                scope.spawn(move || {
+                    let mut w = 0usize;
+                    for b in blo..bhi {
+                        for (t, (row, offs)) in thread_counts
+                            .iter()
+                            .zip(thread_offsets)
+                            .take(used)
+                            .enumerate()
+                        {
+                            let cnt = row[b];
+                            if cnt == 0 {
+                                continue;
+                            }
+                            // `offs[b]` ended one past the run after phase 2.
+                            let run = t * chunk + offs[b] - cnt;
+                            mine[w..w + cnt].copy_from_slice(&aux[run..run + cnt]);
+                            w += cnt;
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// Sorts every equal-degree run of `order` by its packed word slice,
-    /// choosing radix or comparison sort per group.
-    fn sort_groups_by_words(&mut self, g: &Graph, k_prev: usize) {
+    /// choosing radix or comparison sort per group. With `threads > 1` the
+    /// groups are batched into contiguous ranges (group boundaries never
+    /// split) and the batches sort concurrently, each worker with its own
+    /// histogram row; the radix/comparison choice per group is independent
+    /// of the batching, so the sorted `order` is the sequential pass's.
+    fn sort_groups_by_words(&mut self, g: &Graph, k_prev: usize, threads: usize) {
         // Upper bound on any packed word: reverse ports are < Δ and classes
         // are < k_prev.
         let word_bound = (g.max_degree() as u64) * (k_prev as u64);
@@ -230,6 +407,35 @@ impl Refiner {
         } else {
             None
         };
+        let threads = threads.max(1).min(self.n.max(1));
+        if threads <= 1 || self.n < PARALLEL_MIN_NODES {
+            let Refiner {
+                n,
+                offsets,
+                words,
+                order,
+                aux,
+                counts,
+                ..
+            } = self;
+            let mut start = 0;
+            while start < *n {
+                let deg = g.degree(order[start]);
+                let mut end = start + 1;
+                while end < *n && g.degree(order[end]) == deg {
+                    end += 1;
+                }
+                if deg > 0 && end - start > 1 {
+                    let (o, a) = (&mut order[start..end], &mut aux[start..end]);
+                    sort_group(offsets, words, o, a, deg, radix_buckets, counts);
+                }
+                start = end;
+            }
+            return;
+        }
+        // Collect the equal-degree group bounds, then batch contiguous
+        // groups into ranges of roughly n/threads elements.
+        self.group_bounds.clear();
         let mut start = 0;
         while start < self.n {
             let deg = g.degree(self.order[start]);
@@ -237,85 +443,152 @@ impl Refiner {
             while end < self.n && g.degree(self.order[end]) == deg {
                 end += 1;
             }
-            if deg > 0 && end - start > 1 {
-                // Radix only pays when the group is large both absolutely
-                // and relative to the histogram that every pass must zero
-                // and prefix-sum.
-                match radix_buckets {
-                    Some(buckets)
-                        if end - start >= RADIX_MIN_GROUP && buckets <= 8 * (end - start) =>
-                    {
-                        self.radix_sort_group(start, end, deg, buckets);
-                    }
-                    _ => {
-                        let (offsets, words) = (&self.offsets, &self.words);
-                        self.order[start..end].sort_unstable_by(|&a, &b| {
-                            words[offsets[a]..offsets[a] + deg]
-                                .cmp(&words[offsets[b]..offsets[b] + deg])
-                        });
-                    }
-                }
-            }
+            self.group_bounds.push((start, end));
             start = end;
         }
-    }
-
-    /// LSD radix sort of `order[start..end]` (all of degree `deg`) over the
-    /// `deg` word positions, last position first; each pass is a stable
-    /// counting sort ping-ponging between `order` and `aux`.
-    fn radix_sort_group(&mut self, start: usize, end: usize, deg: usize, buckets: usize) {
+        let target = self.n.div_ceil(threads);
+        let mut cuts: Vec<usize> = vec![0];
+        let mut acc = 0usize;
+        for (i, &(s, e)) in self.group_bounds.iter().enumerate() {
+            acc += e - s;
+            if acc >= target && i + 1 < self.group_bounds.len() {
+                cuts.push(i + 1);
+                acc = 0;
+            }
+        }
+        cuts.push(self.group_bounds.len());
+        let batches = cuts.len() - 1;
+        let hist = radix_buckets.unwrap_or(0);
+        self.ensure_thread_rows(batches, hist);
         let Refiner {
             offsets,
             words,
             order,
             aux,
-            counts,
+            thread_counts,
+            group_bounds,
             ..
         } = self;
-        if counts.len() < buckets {
-            counts.resize(buckets, 0);
-        }
-        let mut src: &mut [NodeId] = &mut order[start..end];
-        let mut dst: &mut [NodeId] = &mut aux[start..end];
-        for pos in (0..deg).rev() {
-            counts[..buckets].fill(0);
-            for &v in src.iter() {
-                counts[words[offsets[v] + pos] as usize] += 1;
+        let offsets: &[usize] = offsets;
+        let words: &[u64] = words;
+        std::thread::scope(|scope| {
+            let mut order_rest: &mut [NodeId] = order;
+            let mut aux_rest: &mut [NodeId] = aux;
+            let mut consumed = 0usize;
+            for (b, counts) in thread_counts.iter_mut().take(batches).enumerate() {
+                let (glo, ghi) = (cuts[b], cuts[b + 1]);
+                if glo == ghi {
+                    continue;
+                }
+                let elo = group_bounds[glo].0;
+                let ehi = group_bounds[ghi - 1].1;
+                debug_assert_eq!(elo, consumed);
+                let (o_mine, o_tail) = order_rest.split_at_mut(ehi - elo);
+                let (a_mine, a_tail) = aux_rest.split_at_mut(ehi - elo);
+                order_rest = o_tail;
+                aux_rest = a_tail;
+                consumed = ehi;
+                let bounds = &group_bounds[glo..ghi];
+                scope.spawn(move || {
+                    for &(s, e) in bounds {
+                        let deg = g.degree(o_mine[s - elo]);
+                        if deg > 0 && e - s > 1 {
+                            let o = &mut o_mine[s - elo..e - elo];
+                            let a = &mut a_mine[s - elo..e - elo];
+                            sort_group(offsets, words, o, a, deg, radix_buckets, counts);
+                        }
+                    }
+                });
             }
-            prefix_sums(&mut counts[..buckets]);
-            for &v in src.iter() {
-                let slot = &mut counts[words[offsets[v] + pos] as usize];
-                dst[*slot] = v;
-                *slot += 1;
-            }
-            std::mem::swap(&mut src, &mut dst);
-        }
-        if deg % 2 == 1 {
-            // An odd number of passes left the sorted run in the aux half
-            // (now `src`); copy it back into the `order` half (now `dst`).
-            dst.copy_from_slice(src);
-        }
+        });
     }
 
     /// Dense-rank scan over the sorted `order`: adjacent equal keys share a
     /// class id, so ids are ranks of the distinct keys in canonical order.
-    fn rank_sorted(&mut self) -> (Vec<ClassId>, usize) {
-        let mut ranks = vec![0; self.n];
-        if self.n == 0 {
+    /// With `threads > 1` the per-element key comparisons (the `O(Δ)` part)
+    /// run as a parallel boundary-flag sweep; the `O(n)` prefix accumulation
+    /// over the flags stays sequential.
+    fn rank_sorted(&mut self, threads: usize) -> (Vec<ClassId>, usize) {
+        let n = self.n;
+        let mut ranks = vec![0; n];
+        if n == 0 {
             return (ranks, 0);
         }
-        let mut rank = 0;
-        ranks[self.order[0]] = 0;
-        for i in 1..self.n {
-            let (a, b) = (self.order[i - 1], self.order[i]);
-            let ka = &self.words[self.offsets[a]..self.offsets[a + 1]];
-            let kb = &self.words[self.offsets[b]..self.offsets[b + 1]];
-            if ka != kb {
-                rank += 1;
+        let threads = threads.max(1).min(n);
+        if threads <= 1 || n < PARALLEL_MIN_NODES {
+            let mut rank = 0;
+            ranks[self.order[0]] = 0;
+            for i in 1..n {
+                let (a, b) = (self.order[i - 1], self.order[i]);
+                let ka = &self.words[self.offsets[a]..self.offsets[a + 1]];
+                let kb = &self.words[self.offsets[b]..self.offsets[b + 1]];
+                if ka != kb {
+                    rank += 1;
+                }
+                ranks[b] = rank;
             }
-            ranks[b] = rank;
+            return (ranks, rank + 1);
+        }
+        if self.flags.len() < n {
+            self.flags.resize(n, 0);
+        }
+        let Refiner {
+            offsets,
+            words,
+            order,
+            flags,
+            ..
+        } = self;
+        let offsets: &[usize] = offsets;
+        let words: &[u64] = words;
+        let order: &[NodeId] = order;
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, fl) in flags[..n].chunks_mut(chunk).enumerate() {
+                let base = t * chunk;
+                scope.spawn(move || {
+                    for (i, f) in fl.iter_mut().enumerate() {
+                        let pos = base + i;
+                        *f = if pos == 0 {
+                            0
+                        } else {
+                            let (a, b) = (order[pos - 1], order[pos]);
+                            let ka = &words[offsets[a]..offsets[a + 1]];
+                            let kb = &words[offsets[b]..offsets[b + 1]];
+                            u8::from(ka != kb)
+                        };
+                    }
+                });
+            }
+        });
+        let mut rank = 0usize;
+        for i in 0..n {
+            rank += self.flags[i] as usize;
+            ranks[self.order[i]] = rank;
         }
         (ranks, rank + 1)
+    }
+
+    /// Grows the per-thread histogram/cursor pools to `rows` rows of
+    /// `buckets` slots and zeroes the histogram rows.
+    fn ensure_thread_rows(&mut self, rows: usize, buckets: usize) {
+        if self.thread_counts.len() < rows {
+            self.thread_counts.resize_with(rows, Vec::new);
+        }
+        if self.thread_offsets.len() < rows {
+            self.thread_offsets.resize_with(rows, Vec::new);
+        }
+        for row in self.thread_counts.iter_mut().take(rows) {
+            if row.len() < buckets {
+                row.resize(buckets, 0);
+            }
+            row[..buckets].fill(0);
+        }
+        for row in self.thread_offsets.iter_mut().take(rows) {
+            if row.len() < buckets {
+                row.resize(buckets, 0);
+            }
+        }
     }
 
     /// Zeroes the first `buckets` histogram slots, growing the buffer the
@@ -326,6 +599,71 @@ impl Refiner {
             self.counts.resize(buckets, 0);
         }
         self.counts[..buckets].fill(0);
+    }
+}
+
+/// Sorts one equal-degree group (given as the matching `order` / `aux`
+/// slices) by its packed word slices: LSD radix when the group is large both
+/// absolutely and relative to the histogram every pass must zero and
+/// prefix-sum, comparison sort otherwise. Shared verbatim by the sequential
+/// and the batched parallel paths, so both make the identical choice per
+/// group.
+fn sort_group(
+    offsets: &[usize],
+    words: &[u64],
+    order: &mut [NodeId],
+    aux: &mut [NodeId],
+    deg: usize,
+    radix_buckets: Option<usize>,
+    counts: &mut Vec<usize>,
+) {
+    let len = order.len();
+    match radix_buckets {
+        Some(buckets) if len >= RADIX_MIN_GROUP && buckets <= 8 * len => {
+            radix_sort_group(offsets, words, order, aux, deg, buckets, counts);
+        }
+        _ => {
+            order.sort_unstable_by(|&a, &b| {
+                words[offsets[a]..offsets[a] + deg].cmp(&words[offsets[b]..offsets[b] + deg])
+            });
+        }
+    }
+}
+
+/// LSD radix sort of one group (all of degree `deg`) over the `deg` word
+/// positions, last position first; each pass is a stable counting sort
+/// ping-ponging between the `order` and `aux` slices.
+fn radix_sort_group(
+    offsets: &[usize],
+    words: &[u64],
+    order: &mut [NodeId],
+    aux: &mut [NodeId],
+    deg: usize,
+    buckets: usize,
+    counts: &mut Vec<usize>,
+) {
+    if counts.len() < buckets {
+        counts.resize(buckets, 0);
+    }
+    let mut src: &mut [NodeId] = order;
+    let mut dst: &mut [NodeId] = aux;
+    for pos in (0..deg).rev() {
+        counts[..buckets].fill(0);
+        for &v in src.iter() {
+            counts[words[offsets[v] + pos] as usize] += 1;
+        }
+        prefix_sums(&mut counts[..buckets]);
+        for &v in src.iter() {
+            let slot = &mut counts[words[offsets[v] + pos] as usize];
+            dst[*slot] = v;
+            *slot += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    if deg % 2 == 1 {
+        // An odd number of passes left the sorted run in the aux half
+        // (now `src`); copy it back into the `order` half (now `dst`).
+        dst.copy_from_slice(src);
     }
 }
 
@@ -445,7 +783,82 @@ mod tests {
         }
     }
 
+    /// Full thread-count sweep: every parallel stage must reproduce the
+    /// sequential class rows bit for bit at every depth.
+    fn check_thread_sweep(g: &Graph, depths: usize) {
+        let seq = RefineOptions { threads: 1 };
+        let mut a = Refiner::new(g);
+        let (row0, k0) = a.rank_by_degree(g);
+        let mut seq_rows = vec![(row0.clone(), k0)];
+        for d in 1..=depths {
+            let (prev, kp) = seq_rows[d - 1].clone();
+            seq_rows.push(a.extend(g, &prev, kp, &seq));
+        }
+        for threads in [2usize, 3, 8] {
+            let par = RefineOptions { threads };
+            let mut b = Refiner::new(g);
+            let (row0b, k0b) = b.rank_by_degree(g);
+            assert_eq!((&row0b, k0b), (&seq_rows[0].0, seq_rows[0].1));
+            for d in 1..=depths {
+                let (prev, kp) = &seq_rows[d - 1];
+                let (got, kg) = b.extend(g, prev, *kp, &par);
+                assert_eq!(got, seq_rows[d].0, "depth {d}, {threads} threads");
+                assert_eq!(kg, seq_rows[d].1, "depth {d}, {threads} threads");
+            }
+        }
+    }
+
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "above-threshold graphs are too large for the interpreter"
+    )]
+    fn parallel_rank_passes_match_sequential_on_random_graphs() {
+        // Large enough to cross PARALLEL_MIN_NODES so the threaded paths run.
+        let n = PARALLEL_MIN_NODES + 97;
+        check_thread_sweep(&generators::random_connected_sparse(n, n, 9), 4);
+        check_thread_sweep(&generators::random_connected_sparse(n, 3 * n, 17), 3);
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "above-threshold graphs are too large for the interpreter"
+    )]
+    fn parallel_rank_passes_match_sequential_on_all_equal_keys() {
+        // Adversarial: a ring has a single degree group, all keys equal at
+        // every depth — one giant radix group, boundary flags all zero.
+        check_thread_sweep(&generators::ring(PARALLEL_MIN_NODES + 11), 3);
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "above-threshold graphs are too large for the interpreter"
+    )]
+    fn parallel_rank_passes_match_sequential_on_already_sorted_input() {
+        // Adversarial: a long path's node ids are already in degree order
+        // (two endpoints of degree 1 aside), and its class rows refine
+        // monotonically outward — the sorted order barely changes per depth.
+        check_thread_sweep(&generators::path(PARALLEL_MIN_NODES + 5), 4);
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "above-threshold graphs are too large for the interpreter"
+    )]
+    fn parallel_rank_passes_match_sequential_on_single_class_input() {
+        // Adversarial: a torus is vertex-transitive — one class at every
+        // depth, so every rank pass degenerates to a single bucket.
+        check_thread_sweep(&generators::torus(64, 40), 3);
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "above-threshold graphs are too large for the interpreter"
+    )]
     fn parallel_key_fill_matches_sequential() {
         // Large enough to cross PARALLEL_MIN_NODES so the threaded path runs.
         let n = PARALLEL_MIN_NODES + 97;
@@ -486,5 +899,9 @@ mod tests {
         let (row2, k2) = refiner.extend(&g, &row, k, &RefineOptions::default());
         assert_eq!(row2, vec![0]);
         assert_eq!(k2, 1);
+        // The parallel options are a no-op below the size threshold but must
+        // still be accepted.
+        let (row3, k3) = refiner.extend(&g, &row, k, &RefineOptions { threads: 8 });
+        assert_eq!((row3, k3), (vec![0], 1));
     }
 }

@@ -16,7 +16,10 @@ use anonymous_election::graph::lift::{identity_voltage, VoltageGraph};
 use anonymous_election::graph::{algo, generators, lift, relabel};
 use anonymous_election::sim::com::exchange_views_tree;
 use anonymous_election::sim::{exchange_views, CrashEvent, CrashSemantics, FaultPlan};
-use anonymous_election::views::{election_index, election_index_naive, AugmentedView, ViewClasses};
+use anonymous_election::views::{
+    election_index, election_index_naive, AugmentedView, RefineOptions, ShardedViewArena,
+    ViewArena, ViewClasses,
+};
 
 /// Strategy: a connected random graph described by (size, edge probability,
 /// seed).
@@ -342,6 +345,78 @@ proptest! {
         prop_assert_eq!(counts.analysis, 1);
         prop_assert!(counts.eccentricities <= 1);
         prop_assert!(counts.class_deepenings <= 1);
+    }
+
+    #[test]
+    fn sharded_arena_pins_to_sequential_oracle_across_thread_counts((n, p, seed) in graph_params()) {
+        // The striped million-node arena must be observationally identical
+        // to the sequential seed arena: its numeric ids are
+        // schedule-dependent, but under the canonical id correspondence
+        // (levels[d][v] ↔ levels[d][v]) the class partitions, the canonical
+        // total order and the interned-subtree count must all match, at
+        // every worker count.
+        let g = generators::random_connected(n, p, seed);
+        let depth = 3usize;
+        let mut seq = ViewArena::new();
+        let seq_levels = seq.compute_levels(&g, depth);
+        for threads in [1usize, 2, 8] {
+            let sh = ShardedViewArena::new();
+            let sh_levels = sh.compute_levels_with(&g, depth, threads);
+            prop_assert_eq!(sh.len(), seq.len());
+            prop_assert_eq!(sh_levels.len(), seq_levels.len());
+            for d in 0..=depth {
+                for u in g.nodes() {
+                    // Structural identity under the canonical remap.
+                    prop_assert_eq!(
+                        sh.materialize(sh_levels[d][u]),
+                        seq.materialize(seq_levels[d][u])
+                    );
+                    for v in g.nodes() {
+                        // Identical partition and identical total order.
+                        prop_assert_eq!(
+                            sh.cmp_views(sh_levels[d][u], sh_levels[d][v]),
+                            seq.cmp_views(seq_levels[d][u], seq_levels[d][v])
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_truncation_agrees_with_the_level_structure((n, p, seed) in graph_params()) {
+        // truncate_one(B^d(v)) = B^{d-1}(v) on both arenas, id for id — the
+        // memoized sharded truncation may never drift from the recursive
+        // definition the sequential arena implements.
+        let g = generators::random_connected(n, p, seed);
+        let depth = 3usize;
+        let mut seq = ViewArena::new();
+        let seq_levels = seq.compute_levels(&g, depth);
+        let sh = ShardedViewArena::new();
+        let sh_levels = sh.compute_levels_with(&g, depth, 2);
+        for d in 1..=depth {
+            for v in g.nodes() {
+                prop_assert_eq!(sh.truncate_one(sh_levels[d][v]), sh_levels[d - 1][v]);
+                prop_assert_eq!(seq.truncate_one(seq_levels[d][v]), seq_levels[d - 1][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_refinement_is_bit_identical_across_thread_counts((n, p, seed) in graph_params()) {
+        // The parallel rank passes must produce the *same numeric class
+        // rows* as the sequential engine at every thread count — ranks are
+        // canonical positions, not schedule artifacts.
+        let g = generators::random_connected(n, p, seed);
+        let depth = 4usize;
+        let base = ViewClasses::compute_with(&g, depth, &RefineOptions { threads: 1 });
+        for threads in [2usize, 3, 8] {
+            let par = ViewClasses::compute_with(&g, depth, &RefineOptions { threads });
+            for d in 0..=depth {
+                prop_assert_eq!(par.classes_at(d), base.classes_at(d));
+                prop_assert_eq!(par.num_classes(d), base.num_classes(d));
+            }
+        }
     }
 
     #[test]
