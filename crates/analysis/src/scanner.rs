@@ -47,6 +47,11 @@ pub struct ScrubbedFile {
     /// The scrubbed text, split into lines. Comments and literals are
     /// replaced by spaces, so columns align with the original file.
     pub lines: Vec<String>,
+    /// The original text, split into lines — for the few rules that must
+    /// read string literals (e.g. the CLI subcommand names the
+    /// doc-integrity README check extracts). Rules default to the scrubbed
+    /// [`lines`](Self::lines).
+    pub raw_lines: Vec<String>,
     /// `test_lines[i]` is true iff 0-based line `i` is inside a
     /// `#[cfg(test)]` region (or the whole file is a test file).
     pub test_lines: Vec<bool>,
@@ -60,6 +65,7 @@ impl ScrubbedFile {
     pub fn new(rel: String, source: &str, whole_file_is_test: bool) -> Self {
         let (scrubbed, waivers) = scrub(source);
         let lines: Vec<String> = scrubbed.lines().map(str::to_string).collect();
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
         let test_lines = if whole_file_is_test {
             vec![true; lines.len()]
         } else {
@@ -68,6 +74,7 @@ impl ScrubbedFile {
         ScrubbedFile {
             rel,
             lines,
+            raw_lines,
             test_lines,
             waivers,
         }

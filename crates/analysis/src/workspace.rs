@@ -58,7 +58,7 @@ impl Workspace {
         files.sort_by(|a, b| a.rel.cmp(&b.rel));
 
         let mut docs = Vec::new();
-        for rel in ["docs/PAPER_MAP.md", "DESIGN.md"] {
+        for rel in ["docs/PAPER_MAP.md", "DESIGN.md", "README.md"] {
             let path = root.join(rel);
             if path.is_file() {
                 docs.push((rel.to_string(), read(&path)?));

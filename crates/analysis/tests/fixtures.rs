@@ -102,6 +102,74 @@ fn wall_clock_is_allowed_inside_bench() {
 }
 
 #[test]
+fn wall_clock_is_allowed_on_the_measurement_path() {
+    // The service load generator is the declared measurement path (same
+    // mechanism as the bench-crate exemption): wall-clock is its output.
+    let src = format!("{FORBID}pub fn f() {{\n    let _t = std::time::Instant::now();\n}}\n");
+    let root = fixture(
+        "clock-measurement-path",
+        &[("crates/service/src/loadgen.rs", src.as_str())],
+    );
+    assert!(lint(&root).is_clean(), "{:#?}", lint(&root).diagnostics);
+
+    // The exemption is file-scoped, not crate-scoped: the engine next door
+    // still may not read the clock.
+    let root = fixture(
+        "clock-service-engine",
+        &[("crates/service/src/engine.rs", src.as_str())],
+    );
+    let report = lint(&root);
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].rule, "wall-clock");
+    assert_eq!(report.diagnostics[0].path, "crates/service/src/engine.rs");
+}
+
+#[test]
+fn doc_integrity_requires_report_subcommands_in_the_readme() {
+    let bin = "fn main() {\n\
+               \x20   let args: Vec<String> = std::env::args().skip(1).collect();\n\
+               \x20   match args.first().map(String::as_str) {\n\
+               \x20       Some(\"serve\") => {}\n\
+               \x20       Some(\"loadgen\") => {}\n\
+               \x20       _ => {}\n\
+               \x20   }\n\
+               }\n";
+    let undocumented = "# App\n\nRun `report serve` to start the daemon.\n";
+    let root = fixture(
+        "readme-violation",
+        &[
+            ("crates/bench/src/bin/report.rs", bin),
+            ("README.md", undocumented),
+        ],
+    );
+    let report = lint(&root);
+    // Only `loadgen` is missing; the diagnostic anchors at its dispatch arm.
+    assert_single(
+        &report,
+        "doc-integrity",
+        "crates/bench/src/bin/report.rs",
+        5,
+        bin.lines()
+            .nth(4)
+            .expect("arm line")
+            .find("Some")
+            .expect("arm")
+            + 1,
+    );
+    assert!(report.diagnostics[0].message.contains("loadgen"));
+
+    let documented = "# App\n\nRun `report serve` or `report loadgen ...`.\n";
+    let root = fixture(
+        "readme-clean",
+        &[
+            ("crates/bench/src/bin/report.rs", bin),
+            ("README.md", documented),
+        ],
+    );
+    assert!(lint(&root).is_clean(), "{:#?}", lint(&root).diagnostics);
+}
+
+#[test]
 fn unsafe_hygiene_flags_a_root_missing_the_forbid() {
     let root = fixture(
         "unsafe-violation",

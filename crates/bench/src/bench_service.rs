@@ -1,0 +1,226 @@
+//! The service bench: an in-process daemon under seeded load, and its JSON
+//! emission (`BENCH_service.json` at the repository root).
+//!
+//! Each tier boots a fresh [`anet_service::Engine`] behind a real TCP
+//! listener, fires the deterministic [`anet_service::job_mix`] at it with
+//! the tier's client count and loop mode, and records throughput, latency
+//! percentiles, and the cache's cold-vs-warm behaviour. The functional
+//! columns — job/error counts, cache hits/misses, resident sessions, and
+//! the transcript hash — are pure functions of the seed and must not move
+//! between runs or thread counts; with `--no-wall` the timing columns are
+//! zeroed so two emissions are byte-comparable (the CI smoke job `cmp`s
+//! them, exactly like the other perf sweeps). Re-emit with:
+//!
+//! ```text
+//! cargo run --release -p anet-bench --bin report -- bench-service --json BENCH_service.json
+//! ```
+
+use std::io::Write as _;
+use std::net::TcpListener;
+
+use anet_service::loadgen::{self, LoadgenSpec};
+use anet_service::{serve_tcp, Engine, EngineConfig};
+
+/// One load-generation tier against a fresh daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBenchRecord {
+    /// Tier name, e.g. `"closed_c4"`.
+    pub tier: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// `"closed"` or `"open"` loop.
+    pub mode: &'static str,
+    /// Jobs fired (= responses received).
+    pub jobs: usize,
+    /// `"ok":true` responses.
+    pub ok: usize,
+    /// Typed error responses (the mix includes infeasible and garbage jobs
+    /// by design, so this is a fixed nonzero count).
+    pub errors: usize,
+    /// Warm-session cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (= sessions built = distinct canonical graphs).
+    pub cache_misses: u64,
+    /// Sessions evicted.
+    pub cache_evictions: u64,
+    /// Sessions resident at the end of the run.
+    pub sessions: u64,
+    /// 64-bit fold of the sorted response transcript (hex in the JSON) —
+    /// the byte-identity witness.
+    pub transcript_hash: u64,
+    /// Aggregate throughput, jobs per second (wall).
+    pub throughput_jps: f64,
+    /// Median latency, milliseconds (wall).
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds (wall).
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds (wall).
+    pub p99_ms: f64,
+    /// Whole-run wall time, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Folds the sorted transcript into one 64-bit witness (same mixing
+/// constants as `Graph::canonical_hash`).
+fn transcript_hash(lines: &[String]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for line in lines {
+        for chunk in line.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let mut z = h.rotate_left(5) ^ u64::from_le_bytes(word);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h = z ^ (z >> 31);
+        }
+        h = h.wrapping_add(0xD1B5_4A32_D192_ED03);
+    }
+    h
+}
+
+/// Runs one tier: fresh engine + listener, seeded load, counter harvest.
+fn run_tier(
+    tier: &str,
+    seed: u64,
+    jobs: usize,
+    clients: usize,
+    rate_jps: Option<u64>,
+) -> std::io::Result<ServiceBenchRecord> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let engine = Engine::new(EngineConfig::default());
+    let mut report = None;
+    let mut serve_result = Ok(());
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve_tcp(&listener, &engine, 1 << 20));
+        let outcome = loadgen::run(&LoadgenSpec {
+            addr: addr.clone(),
+            seed,
+            jobs,
+            clients,
+            rate_jps,
+        });
+        // Always shut the daemon down, even if the load generation failed,
+        // so the scope can join.
+        let _ = loadgen::send_one(&addr, "{\"id\":\"bye\",\"op\":\"shutdown\"}");
+        report = Some(outcome);
+        serve_result = server
+            .join()
+            .unwrap_or_else(|_| Err(std::io::Error::other("server thread panicked")));
+    });
+    serve_result?;
+    let report = report.unwrap_or_else(|| Err(std::io::Error::other("loadgen never ran")))?;
+    let stats = engine.stats();
+    Ok(ServiceBenchRecord {
+        tier: tier.to_string(),
+        clients,
+        mode: if rate_jps.is_some() { "open" } else { "closed" },
+        jobs: report.jobs,
+        ok: report.ok,
+        errors: report.errors,
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        cache_evictions: stats.cache.evictions,
+        sessions: stats.cache.len,
+        transcript_hash: transcript_hash(&report.transcript),
+        throughput_jps: report.throughput_jps,
+        p50_ms: report.p50_ms,
+        p95_ms: report.p95_ms,
+        p99_ms: report.p99_ms,
+        elapsed_ms: report.elapsed_ms,
+    })
+}
+
+/// Runs the three standard tiers: single-client closed loop (pure warm-path
+/// latency), multi-client closed loop (coalescing + single-flight under
+/// concurrency), and multi-client open loop (paced, pipelined).
+pub fn run_service_bench(seed: u64, jobs: usize) -> std::io::Result<Vec<ServiceBenchRecord>> {
+    Ok(vec![
+        run_tier("closed_c1", seed, jobs, 1, None)?,
+        run_tier("closed_c4", seed, jobs, 4, None)?,
+        run_tier("open_c4", seed, jobs, 4, Some(4000))?,
+    ])
+}
+
+/// Serializes records as a JSON array of objects (hand-written: the
+/// workspace is offline, no serde).
+pub fn to_json(records: &[ServiceBenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"tier\": \"{}\", \"clients\": {}, \"mode\": \"{}\", \"jobs\": {}, \
+             \"ok\": {}, \"errors\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_evictions\": {}, \"sessions\": {}, \"transcript_hash\": \"{:016x}\", \
+             \"throughput_jps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"elapsed_ms\": {:.3}}}{}\n",
+            r.tier,
+            r.clients,
+            r.mode,
+            r.jobs,
+            r.ok,
+            r.errors,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_evictions,
+            r.sessions,
+            r.transcript_hash,
+            r.throughput_jps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.elapsed_ms,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Writes the JSON to `path`.
+pub fn emit(path: &std::path::Path, records: &[ServiceBenchRecord]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_json(records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_functional_columns_are_seed_deterministic() {
+        let a = run_tier("t", 7, 40, 2, None).expect("tier runs");
+        let b = run_tier("t", 7, 40, 4, None).expect("tier runs");
+        // Different client counts, same seed: identical functional columns.
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.ok, b.ok);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.cache_misses, b.cache_misses);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.sessions, b.sessions);
+        assert_eq!(a.transcript_hash, b.transcript_hash);
+    }
+
+    #[test]
+    fn no_wall_emissions_are_byte_identical() {
+        let zero = |mut r: ServiceBenchRecord| {
+            r.throughput_jps = 0.0;
+            r.p50_ms = 0.0;
+            r.p95_ms = 0.0;
+            r.p99_ms = 0.0;
+            r.elapsed_ms = 0.0;
+            r
+        };
+        // Two separate runs of the same tier: only the wall-clock columns
+        // differ, so zeroing them makes the emissions byte-identical.
+        let a: Vec<_> = [run_tier("t", 7, 30, 2, None).expect("tier")]
+            .map(zero)
+            .into_iter()
+            .collect();
+        let b: Vec<_> = [run_tier("t", 7, 30, 2, None).expect("tier")]
+            .map(zero)
+            .into_iter()
+            .collect();
+        assert_eq!(to_json(&a), to_json(&b));
+    }
+}

@@ -12,19 +12,22 @@
 //! id such as `e1`) to regenerate the tables; `cargo bench` runs the
 //! Criterion timing benchmarks.
 //!
-//! Three perf sweeps track the wall-clock trajectory across PRs (all
+//! Four perf sweeps track the wall-clock trajectory across PRs (all
 //! emitted by the `report` binary and committed at the repository root):
 //! [`bench_json`] times the φ/feasibility analysis
 //! (`BENCH_election_index.json`), [`bench_elect`] times the full
-//! advice → `COM` → verify election pipeline (`BENCH_elect.json`), and
+//! advice → `COM` → verify election pipeline (`BENCH_elect.json`),
 //! [`sweep`] runs the whole advice-vs-time tradeoff curve — every
 //! [`anet_election::AdviceScheme`] on every workload off one cached
-//! [`anet_election::Instance`] per graph (`BENCH_sweep.json`).
+//! [`anet_election::Instance`] per graph (`BENCH_sweep.json`) — and
+//! [`bench_service`] drives the `anet-service` daemon with the seeded
+//! load generator (`BENCH_service.json`).
 
 #![forbid(unsafe_code)]
 
 pub mod bench_elect;
 pub mod bench_json;
+pub mod bench_service;
 pub mod experiments;
 pub mod sweep;
 pub mod workloads;

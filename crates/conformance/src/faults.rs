@@ -229,11 +229,7 @@ fn dimensions(
 /// Runs every fault dimension of `inst` (all randomness derived from
 /// `seed`), classifying each run against the clean baseline and appending
 /// any certification failure to `violations`.
-pub fn fault_records(
-    inst: &Instance<'_>,
-    seed: u64,
-    violations: &mut Vec<String>,
-) -> Vec<FaultRecord> {
+pub fn fault_records(inst: &Instance, seed: u64, violations: &mut Vec<String>) -> Vec<FaultRecord> {
     let g = inst.graph();
     let feasible = inst.is_feasible();
     let phi = inst.phi().ok();

@@ -69,7 +69,7 @@ pub struct AdversityOutcome {
     pub stats: RunStats,
 }
 
-impl Instance<'_> {
+impl Instance {
     /// Runs the minimum-time election under the adversary `plan` with the
     /// `COM` exchange carried by `model`, on `threads` worker threads
     /// (1 = the sequential engine with phase-skew support). The cached

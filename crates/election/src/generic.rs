@@ -82,7 +82,7 @@ impl From<crate::scheme::Outcome> for GenericOutcome {
 /// instead of `O(n · m · D)`; otherwise every node is emulated faithfully
 /// by [`run_single_node`]. Both paths compute the same function (asserted
 /// by tests pitting them against each other on graphs where both apply).
-pub(crate) fn run_on_instance(inst: &Instance<'_>, x: usize) -> (Vec<usize>, Vec<PortPath>) {
+pub(crate) fn run_on_instance(inst: &Instance, x: usize) -> (Vec<usize>, Vec<PortPath>) {
     let g = inst.graph();
     let row = inst.class_row(x);
     if inst.num_classes_at(x) == g.num_nodes() {

@@ -29,7 +29,15 @@
 //! The caches use interior mutability (`OnceCell`/`RefCell`), so an
 //! `Instance` is `Send` but not `Sync`: share it freely between schemes on
 //! one thread, and give each worker of a `std::thread::scope` sweep its own
-//! instance (the pattern of `anet-bench`'s `report sweep`).
+//! instance (the pattern of `anet-bench`'s `report sweep`). To share a
+//! session across threads, put it behind a mutex — `anet-service`'s warm
+//! cache holds each session in a `parking_lot::Mutex` slot and runs schemes
+//! while holding the lock.
+//!
+//! An `Instance` *owns* its graph behind an [`Arc`]: [`Instance::new`]
+//! clones the borrowed graph once, and [`Instance::from_arc`] takes an
+//! existing handle with zero copies. Owning the graph is what lets sessions
+//! outlive the scope that created them (the `anet-service` LRU).
 
 use std::cell::{Cell, OnceCell, RefCell};
 use std::sync::Arc;
@@ -75,8 +83,8 @@ struct Analysis {
 /// See the [module docs](self) for the usage pattern. All accessors are
 /// idempotent: repeated calls return the same values and never recompute
 /// (checked via [`compute_counts`](Instance::compute_counts)).
-pub struct Instance<'g> {
-    graph: &'g Graph,
+pub struct Instance {
+    graph: Arc<Graph>,
     opts: RefineOptions,
     analysis: RefCell<Option<Analysis>>,
     eccentricities: OnceCell<Vec<usize>>,
@@ -86,9 +94,11 @@ pub struct Instance<'g> {
     counts: Cell<ComputeCounts>,
 }
 
-impl<'g> Instance<'g> {
-    /// Wraps `graph` with empty caches and default engine options.
-    pub fn new(graph: &'g Graph) -> Self {
+impl Instance {
+    /// Wraps a clone of `graph` with empty caches and default engine
+    /// options. (One `Graph` clone; use [`from_arc`](Instance::from_arc) to
+    /// share an existing handle with zero copies.)
+    pub fn new(graph: &Graph) -> Self {
         Self::with_options(graph, RefineOptions::default())
     }
 
@@ -97,7 +107,14 @@ impl<'g> Instance<'g> {
     /// passes on large graphs). This is the single place options enter the
     /// election layer; every analysis and every scheme run on this instance
     /// uses them.
-    pub fn with_options(graph: &'g Graph, opts: RefineOptions) -> Self {
+    pub fn with_options(graph: &Graph, opts: RefineOptions) -> Self {
+        Self::from_arc(Arc::new(graph.clone()), opts)
+    }
+
+    /// Wraps an owned graph handle without copying. The session keeps the
+    /// `Arc` alive for its whole lifetime, so it can outlive the caller's
+    /// scope — the shape `anet-service`'s warm-session cache needs.
+    pub fn from_arc(graph: Arc<Graph>, opts: RefineOptions) -> Self {
         Instance {
             graph,
             opts,
@@ -111,8 +128,13 @@ impl<'g> Instance<'g> {
     }
 
     /// The wrapped graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A new owning handle to the wrapped graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// The refinement-engine options every analysis on this instance uses.
@@ -138,7 +160,7 @@ impl<'g> Instance<'g> {
         let analysis = slot.get_or_insert_with(|| {
             self.bump(|c| c.analysis += 1);
             let (classes, stable_depth) =
-                ViewClasses::compute_until_stable_with(self.graph, &self.opts);
+                ViewClasses::compute_until_stable_with(&self.graph, &self.opts);
             let report = anet_views::election_index::report_from_table(&classes, stable_depth);
             Analysis { classes, report }
         });
@@ -184,7 +206,7 @@ impl<'g> Instance<'g> {
         self.with_analysis(|a| {
             if depth > a.classes.max_depth() {
                 let before = a.classes.max_depth();
-                a.classes.ensure_depth(self.graph, depth, &self.opts);
+                a.classes.ensure_depth(&self.graph, depth, &self.opts);
                 if a.classes.max_depth() > before {
                     self.bump(|c| c.class_deepenings += 1);
                 }
@@ -199,7 +221,7 @@ impl<'g> Instance<'g> {
         self.with_analysis(|a| {
             if depth > a.classes.max_depth() {
                 let before = a.classes.max_depth();
-                a.classes.ensure_depth(self.graph, depth, &self.opts);
+                a.classes.ensure_depth(&self.graph, depth, &self.opts);
                 if a.classes.max_depth() > before {
                     self.bump(|c| c.class_deepenings += 1);
                 }
@@ -214,7 +236,7 @@ impl<'g> Instance<'g> {
             self.bump(|c| c.eccentricities += 1);
             self.graph
                 .nodes()
-                .map(|v| algo::eccentricity(self.graph, v))
+                .map(|v| algo::eccentricity(&self.graph, v))
                 .collect()
         })
     }
@@ -239,7 +261,7 @@ impl<'g> Instance<'g> {
         Ok(self.levels.get_or_init(|| {
             self.bump(|c| c.levels += 1);
             self.arena
-                .compute_levels_with(self.graph, phi, self.opts.threads)
+                .compute_levels_with(&self.graph, phi, self.opts.threads)
         }))
     }
 
@@ -256,7 +278,7 @@ impl<'g> Instance<'g> {
             .get_or_init(|| {
                 let (phi, levels) = deps?;
                 self.bump(|c| c.advice += 1);
-                Ok(compute_advice_in(self.graph, phi, &self.arena, levels))
+                Ok(compute_advice_in(&self.graph, phi, &self.arena, levels))
             })
             .as_ref()
             .map_err(Clone::clone)

@@ -47,7 +47,7 @@ pub fn remark_advice(g: &Graph) -> Result<BitString, ElectionError> {
 }
 
 /// [`remark_advice`] against an instance's cached `D` and `φ`.
-pub(crate) fn remark_advice_on(inst: &Instance<'_>) -> Result<BitString, ElectionError> {
+pub(crate) fn remark_advice_on(inst: &Instance) -> Result<BitString, ElectionError> {
     let phi = inst.phi()?;
     let d = inst.diameter();
     Ok(codec::concat(&[

@@ -116,25 +116,25 @@ pub trait AdviceScheme {
 
     /// The oracle side: the advice string for this instance. Errors on
     /// infeasible graphs (no advice can enable election there).
-    fn advice(&self, inst: &Instance<'_>) -> Result<BitString, ElectionError>;
+    fn advice(&self, inst: &Instance) -> Result<BitString, ElectionError>;
 
     /// The node side: runs the algorithm on every node given the common
     /// advice string, verifies the outcome, and reports it.
-    fn run(&self, inst: &Instance<'_>, advice: &BitString) -> Result<Outcome, ElectionError>;
+    fn run(&self, inst: &Instance, advice: &BitString) -> Result<Outcome, ElectionError>;
 
     /// The scheme's theorem time bound instantiated on this instance (e.g.
     /// `D + x + 1` for [`Generic`]); the measured `time` of a successful
     /// run never exceeds it.
-    fn time_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError>;
+    fn time_bound(&self, inst: &Instance) -> Result<usize, ElectionError>;
 
     /// An upper bound on the advice size in bits for this instance: the
     /// exact length for the integer-advice schemes, the Theorem 3.1
     /// `O(n log n)` envelope (with the generous concrete constant the test
     /// suite uses) for [`MinTime`].
-    fn advice_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError>;
+    fn advice_bound(&self, inst: &Instance) -> Result<usize, ElectionError>;
 
     /// Oracle + nodes: computes the advice and runs the scheme with it.
-    fn elect(&self, inst: &Instance<'_>) -> Result<Outcome, ElectionError> {
+    fn elect(&self, inst: &Instance) -> Result<Outcome, ElectionError> {
         let advice = self.advice(inst)?;
         self.run(inst, &advice)
     }
@@ -150,11 +150,11 @@ impl AdviceScheme for MinTime {
         "min_time".into()
     }
 
-    fn advice(&self, inst: &Instance<'_>) -> Result<BitString, ElectionError> {
+    fn advice(&self, inst: &Instance) -> Result<BitString, ElectionError> {
         Ok(inst.advice()?.bits.clone())
     }
 
-    fn run(&self, inst: &Instance<'_>, advice: &BitString) -> Result<Outcome, ElectionError> {
+    fn run(&self, inst: &Instance, advice: &BitString) -> Result<Outcome, ElectionError> {
         let g = inst.graph();
         let sim = simulate_election_in(g, advice, &inst.arena())?;
         let leader = verify_election(g, &sim.outputs)?;
@@ -174,11 +174,11 @@ impl AdviceScheme for MinTime {
         })
     }
 
-    fn time_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn time_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         inst.phi()
     }
 
-    fn advice_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn advice_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         inst.phi()?;
         let n = inst.graph().num_nodes() as f64;
         Ok((220.0 * n * (n.log2() + 1.0)).ceil() as usize)
@@ -198,11 +198,11 @@ impl AdviceScheme for Generic {
         format!("generic(x={})", self.x)
     }
 
-    fn advice(&self, _inst: &Instance<'_>) -> Result<BitString, ElectionError> {
+    fn advice(&self, _inst: &Instance) -> Result<BitString, ElectionError> {
         Ok(BitString::from_uint(self.x as u64))
     }
 
-    fn run(&self, inst: &Instance<'_>, advice: &BitString) -> Result<Outcome, ElectionError> {
+    fn run(&self, inst: &Instance, advice: &BitString) -> Result<Outcome, ElectionError> {
         let x = advice.to_uint().ok_or_else(|| {
             ElectionError::MalformedAdvice("generic advice is not an integer".into())
         })? as usize;
@@ -225,11 +225,11 @@ impl AdviceScheme for Generic {
         })
     }
 
-    fn time_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn time_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         Ok(inst.diameter() + self.x + 1)
     }
 
-    fn advice_bound(&self, _inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn advice_bound(&self, _inst: &Instance) -> Result<usize, ElectionError> {
         Ok(BitString::from_uint(self.x as u64).len())
     }
 }
@@ -253,11 +253,11 @@ impl AdviceScheme for MilestoneScheme {
         format!("milestone{}", self.0.index())
     }
 
-    fn advice(&self, inst: &Instance<'_>) -> Result<BitString, ElectionError> {
+    fn advice(&self, inst: &Instance) -> Result<BitString, ElectionError> {
         Ok(milestone_advice(self.0, inst.phi()? as u64))
     }
 
-    fn run(&self, inst: &Instance<'_>, advice: &BitString) -> Result<Outcome, ElectionError> {
+    fn run(&self, inst: &Instance, advice: &BitString) -> Result<Outcome, ElectionError> {
         let parameter = milestone_parameter(self.0, advice)?;
         let phi = inst.phi()?;
         // The advice is untrusted input: a parameter below φ means the bit
@@ -287,7 +287,7 @@ impl AdviceScheme for MilestoneScheme {
         })
     }
 
-    fn time_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn time_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         Ok(milestone_time_bound(
             self.0,
             inst.diameter(),
@@ -296,7 +296,7 @@ impl AdviceScheme for MilestoneScheme {
         ))
     }
 
-    fn advice_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn advice_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         Ok(milestone_advice(self.0, inst.phi()? as u64).len())
     }
 }
@@ -311,11 +311,11 @@ impl AdviceScheme for Remark {
         "remark".into()
     }
 
-    fn advice(&self, inst: &Instance<'_>) -> Result<BitString, ElectionError> {
+    fn advice(&self, inst: &Instance) -> Result<BitString, ElectionError> {
         remark_advice_on(inst)
     }
 
-    fn run(&self, inst: &Instance<'_>, advice: &BitString) -> Result<Outcome, ElectionError> {
+    fn run(&self, inst: &Instance, advice: &BitString) -> Result<Outcome, ElectionError> {
         let (d, phi) = decode_remark_advice(advice)?;
         let g = inst.graph();
         // After D + φ rounds each node knows B^{D+φ}(u); the nodes at
@@ -352,11 +352,11 @@ impl AdviceScheme for Remark {
         })
     }
 
-    fn time_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn time_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         Ok(inst.diameter() + inst.phi()?)
     }
 
-    fn advice_bound(&self, inst: &Instance<'_>) -> Result<usize, ElectionError> {
+    fn advice_bound(&self, inst: &Instance) -> Result<usize, ElectionError> {
         remark_advice_on(inst).map(|bits| bits.len())
     }
 }

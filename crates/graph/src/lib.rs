@@ -22,6 +22,9 @@
 //! * [`dot`] — Graphviz export with port labels (used to regenerate the
 //!   construction figures of the paper),
 //! * [`relabel`] — node/port permutations used by the lower-bound families,
+//! * [`canon`] — the canonical stable-partition form and the
+//!   quotient-insensitive [`Graph::canonical_hash`] (the `anet-service`
+//!   session-cache key),
 //! * [`lift`] — permutation-voltage lifts (covering graphs / fibrations):
 //!   adversarial generators with controlled view quotients, used by the
 //!   `anet-conformance` corpus.
@@ -35,6 +38,7 @@
 
 pub mod algo;
 pub mod builder;
+pub mod canon;
 pub mod dot;
 pub mod error;
 pub mod generators;
@@ -44,6 +48,7 @@ pub mod path;
 pub mod relabel;
 
 pub use builder::GraphBuilder;
+pub use canon::CanonicalForm;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId, Port};
 pub use path::PortPath;

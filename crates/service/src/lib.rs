@@ -1,0 +1,44 @@
+//! `anet-service` — election-as-a-service: a daemon with a warm-`Instance`
+//! cache, request batching, and a load-generator bench.
+//!
+//! The crate is layered:
+//!
+//! - **api** ([`protocol`], [`json`]): a hand-rolled newline-delimited JSON
+//!   wire format. One request line names a graph (inline `edges`, a
+//!   `workload` family expression, or a `corpus` instance id), a `scheme`
+//!   from the suite, and optional `faults`/`model` adversity parameters;
+//!   one response line answers it. Responses carry no wall-clock or
+//!   cache-state fields, so the response to a given job is **byte-identical**
+//!   regardless of arrival order, server thread count, or cache state.
+//! - **engine** ([`engine`], [`cache`], [`workload`]): resolves the graph,
+//!   short-circuits infeasible ones with a typed refusal, canonicalizes
+//!   feasible ones ([`anet_graph::canon`]), and runs the scheme on a warm
+//!   session from the LRU [`SessionCache`] — renumbered twins share an
+//!   entry, and per-key single-flight means concurrent cold requests pay
+//!   the quotient analysis exactly once.
+//! - **session store** ([`cache`]): `parking_lot::Mutex`-guarded slots
+//!   holding `Send`-but-not-`Sync` [`anet_election::Instance`] sessions;
+//!   the held slot lock *is* the single-flight and coalescing mechanism.
+//!
+//! Transports ([`server`]): a TCP or Unix-socket accept loop (`report
+//! serve`), and a one-shot stdin batch mode. The [`loadgen`] module is the
+//! measurement companion (`report loadgen`): seeded deterministic job
+//! mixes, open/closed-loop concurrent clients, latency percentiles, and a
+//! sorted transcript that CI byte-compares across thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod workload;
+
+pub use cache::{CacheStats, Session, SessionCache};
+pub use engine::{run_batch, Engine, EngineConfig};
+pub use loadgen::{job_mix, LoadgenReport, LoadgenSpec};
+pub use protocol::{parse_request, ErrorKind, Request, RequestBody, RequestError};
+pub use server::{handle_connection, run_stdin_batch, serve_tcp, serve_unix};

@@ -1,0 +1,423 @@
+//! The load generator: a seeded deterministic job mix fired at a daemon by
+//! concurrent clients, with throughput and latency percentiles.
+//!
+//! This module is the service's **measurement path** — with the bench crate
+//! it is the only place outside `crates/bench` allowed to read the wall
+//! clock (`anet-analysis` wall-clock rule, measurement-scope exemption).
+//! The *job mix* itself is a pure function of the seed: the same
+//! `(seed, jobs)` always produces the same request lines in the same order,
+//! including inline renumbered twins (same canonical graph, different node
+//! labels) that exercise the cache's quotient-insensitive keying, and a
+//! slice of infeasible and adversarial jobs. Only the timing figures depend
+//! on the run; the sorted response transcript is byte-reproducible and CI
+//! `cmp`s it across server thread counts.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// SplitMix64-style mixer (same constants as the corpus and fault plans),
+/// so the job mix derives all its choices from one seed.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenSpec {
+    /// Daemon address, e.g. `"127.0.0.1:7777"`.
+    pub addr: String,
+    /// Job-mix seed.
+    pub seed: u64,
+    /// Total jobs across all clients.
+    pub jobs: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// `Some(rate)`: open loop — each client fires paced requests without
+    /// waiting (pipelined), targeting `rate` jobs/s in aggregate. `None`:
+    /// closed loop — each client waits for every response.
+    pub rate_jps: Option<u64>,
+}
+
+/// The measured outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Jobs sent (= responses received).
+    pub jobs: usize,
+    /// Responses with `"ok":true`.
+    pub ok: usize,
+    /// Typed error responses (the mix includes deliberately infeasible
+    /// jobs, so a healthy run has a fixed nonzero count).
+    pub errors: usize,
+    /// Wall time of the whole client phase, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput in jobs per second.
+    pub throughput_jps: f64,
+    /// Median response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Every response line, sorted — byte-reproducible for a fixed mix
+    /// (responses carry no wall-clock or cache-state fields).
+    pub transcript: Vec<String>,
+    /// The daemon's `stats` response after the run.
+    pub stats_line: String,
+}
+
+/// The base inline graphs of the mix: small sparse random graphs, emitted
+/// as edge lists. Twins permute the node labels (edge order kept), so they
+/// are port-preserving isomorphic and must share a cache entry.
+fn inline_pool(seed: u64) -> Vec<Vec<(usize, usize)>> {
+    let mut pool = Vec::new();
+    for (i, n) in [12usize, 16, 14].iter().enumerate() {
+        let g =
+            anet_graph::generators::random_connected_sparse(*n, n / 2, mix(seed, 0xA0 + i as u64));
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, _, v, _)| (u, v)).collect();
+        pool.push(edges);
+    }
+    pool
+}
+
+/// A seeded permutation of `0..n` (Fisher–Yates driven by the mixer).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (mix(seed, i as u64) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+fn render_edges(edges: &[(usize, usize)]) -> String {
+    let pairs: Vec<String> = edges.iter().map(|&(u, v)| format!("[{u},{v}]")).collect();
+    format!("[{}]", pairs.join(","))
+}
+
+const SCHEMES: &[&str] = &[
+    "min_time",
+    "generic",
+    "milestone1",
+    "milestone2",
+    "milestone3",
+    "milestone4",
+    "remark",
+    "generic(x=8)",
+];
+
+const WORKLOADS: &[&str] = &[
+    "lollipop(6,4)",
+    "lollipop(7,3)",
+    "caterpillar(5)",
+    "tree(18,5)",
+    "phi_targeted(3,1)",
+    "random(20,8,3)",
+];
+
+/// Workloads that are infeasible by symmetry — the mix includes them so a
+/// run exercises the typed-refusal path too. Rings are the reliable choice:
+/// the generator's rotation-symmetric port labels give every node the same
+/// view (a clique, by contrast, is feasible under sequential port
+/// assignment).
+const INFEASIBLE: &[&str] = &["ring(8)", "ring(6)"];
+
+/// Builds the deterministic job mix: `jobs` request lines with ids
+/// `j00000…`. A pure function of `(seed, jobs)`.
+pub fn job_mix(seed: u64, jobs: usize) -> Vec<(String, String)> {
+    let inline = inline_pool(seed);
+    let mut out = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let id = format!("j{i:05}");
+        let pick = mix(seed, 0x10_0000 + i as u64);
+        let scheme = SCHEMES[(mix(seed, 0x20_0000 + i as u64) % SCHEMES.len() as u64) as usize];
+        let line = match pick % 10 {
+            // 0..=3: workload families (warm-cache repeats by construction).
+            0..=3 => {
+                let w = WORKLOADS[(pick / 16) as usize % WORKLOADS.len()];
+                format!("{{\"id\":\"{id}\",\"workload\":\"{w}\",\"scheme\":\"{scheme}\"}}")
+            }
+            // 4..=6: inline edge lists, often as renumbered twins.
+            4..=6 => {
+                let base = &inline[(pick / 16) as usize % inline.len()];
+                let n = base.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0) + 1;
+                // Twin every other inline job: same canonical graph,
+                // different labels.
+                let edges: Vec<(usize, usize)> = if pick % 2 == 0 {
+                    base.clone()
+                } else {
+                    let perm = permutation(n, mix(seed, 0x30_0000 + i as u64));
+                    base.iter().map(|&(u, v)| (perm[u], perm[v])).collect()
+                };
+                format!(
+                    "{{\"id\":\"{id}\",\"edges\":{},\"scheme\":\"{scheme}\"}}",
+                    render_edges(&edges)
+                )
+            }
+            // 7: infeasible by symmetry — typed refusal expected.
+            7 => {
+                let w = INFEASIBLE[(pick / 16) as usize % INFEASIBLE.len()];
+                format!("{{\"id\":\"{id}\",\"workload\":\"{w}\",\"scheme\":\"{scheme}\"}}")
+            }
+            // 8: adversarial min_time run (phase skew or drops).
+            8 => {
+                let w = WORKLOADS[(pick / 16) as usize % WORKLOADS.len()];
+                let faults = if pick % 2 == 0 {
+                    format!("{{\"kind\":\"phase_skew\",\"seed\":{}}}", pick % 97)
+                } else {
+                    format!(
+                        "{{\"kind\":\"drops\",\"seed\":{},\"rate\":48,\"window\":4}}",
+                        pick % 89
+                    )
+                };
+                format!(
+                    "{{\"id\":\"{id}\",\"workload\":\"{w}\",\"scheme\":\"min_time\",\
+                     \"faults\":{faults}}}"
+                )
+            }
+            // 9: protocol garbage — typed parse/unknown errors expected.
+            _ => match pick % 3 {
+                0 => format!("{{\"id\":\"{id}\",\"workload\":\"nonexistent(3)\"}}"),
+                1 => format!("{{\"id\":\"{id}\",\"edges\":[[0,1]],\"scheme\":\"warp\"}}"),
+                _ => format!("{{\"id\":\"{id}\",\"corpus\":\"no_such_instance\"}}"),
+            },
+        };
+        out.push((id, line));
+    }
+    out
+}
+
+struct ClientResult {
+    responses: Vec<String>,
+    latencies_ms: Vec<f64>,
+}
+
+fn client_error(message: &str) -> io::Error {
+    io::Error::other(message.to_string())
+}
+
+/// What the open loop collects: send stamps, and `(response, receive
+/// stamp)` pairs from the reader thread.
+type OpenLoopOutcome = (Vec<Instant>, Vec<(String, Instant)>);
+
+/// Fires `jobs` at `addr` serially (closed loop) or paced+pipelined (open
+/// loop), measuring per-response latency.
+fn run_client(
+    addr: &str,
+    jobs: &[(String, String)],
+    pace: Option<Duration>,
+) -> io::Result<ClientResult> {
+    let stream = TcpStream::connect(addr)?;
+    let reader_stream = stream.try_clone()?;
+    let mut reader = BufReader::new(reader_stream);
+    let mut responses = Vec::with_capacity(jobs.len());
+    let mut latencies_ms = Vec::with_capacity(jobs.len());
+    match pace {
+        None => {
+            let mut writer = BufWriter::new(&stream);
+            for (_, line) in jobs {
+                let sent = Instant::now();
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                let mut resp = String::new();
+                if reader.read_line(&mut resp)? == 0 {
+                    return Err(client_error("server closed mid-stream"));
+                }
+                latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                responses.push(resp.trim_end().to_string());
+            }
+        }
+        Some(interval) => {
+            // Open loop: send paced without waiting; a scoped reader thread
+            // drains responses (which arrive in request order on one
+            // connection) and stamps receive times.
+            let outcome: io::Result<OpenLoopOutcome> = std::thread::scope(|scope| {
+                let reader_handle = scope.spawn(move || -> io::Result<Vec<(String, Instant)>> {
+                    let mut out = Vec::with_capacity(jobs.len());
+                    for _ in 0..jobs.len() {
+                        let mut resp = String::new();
+                        if reader.read_line(&mut resp)? == 0 {
+                            return Err(client_error("server closed mid-stream"));
+                        }
+                        out.push((resp.trim_end().to_string(), Instant::now()));
+                    }
+                    Ok(out)
+                });
+                let mut writer = BufWriter::new(&stream);
+                let mut sends = Vec::with_capacity(jobs.len());
+                for (i, (_, line)) in jobs.iter().enumerate() {
+                    sends.push(Instant::now());
+                    writer.write_all(line.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    if i + 1 < jobs.len() {
+                        std::thread::sleep(interval);
+                    }
+                }
+                let received = reader_handle
+                    .join()
+                    .unwrap_or_else(|_| Err(client_error("reader thread panicked")))?;
+                Ok((sends, received))
+            });
+            let (sends, received) = outcome?;
+            for (sent, (resp, got)) in sends.into_iter().zip(received) {
+                latencies_ms.push(got.saturating_duration_since(sent).as_secs_f64() * 1e3);
+                responses.push(resp);
+            }
+        }
+    }
+    Ok(ClientResult {
+        responses,
+        latencies_ms,
+    })
+}
+
+/// `q`-th percentile (0.0–1.0) of `sorted` (ascending), nearest-rank.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Sends one request line over a fresh connection and returns the response
+/// line (used for `stats` and `shutdown` admin calls).
+pub fn send_one(addr: &str, line: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(&stream);
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(&stream);
+    let mut resp = String::new();
+    if reader.read_line(&mut resp)? == 0 {
+        return Err(client_error("no response"));
+    }
+    Ok(resp.trim_end().to_string())
+}
+
+/// Runs the full load generation: build the mix, fan it out over
+/// `spec.clients` concurrent connections, aggregate timing, fetch stats.
+pub fn run(spec: &LoadgenSpec) -> io::Result<LoadgenReport> {
+    let jobs = job_mix(spec.seed, spec.jobs);
+    let clients = spec.clients.max(1);
+    // Round-robin assignment keeps each client's stream a faithful sample
+    // of the mix (and is deterministic).
+    let assignments: Vec<Vec<(String, String)>> = (0..clients)
+        .map(|k| {
+            jobs.iter()
+                .skip(k)
+                .step_by(clients)
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let pace = spec
+        .rate_jps
+        .map(|rate| Duration::from_secs_f64(clients as f64 / (rate.max(1) as f64)));
+    let started = Instant::now();
+    let mut results: Vec<io::Result<ClientResult>> = Vec::with_capacity(clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|chunk| scope.spawn(|| run_client(&spec.addr, chunk, pace)))
+            .collect();
+        for handle in handles {
+            results.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err(client_error("client thread panicked"))),
+            );
+        }
+    });
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut transcript = Vec::with_capacity(jobs.len());
+    let mut latencies = Vec::with_capacity(jobs.len());
+    for result in results {
+        let client = result?;
+        transcript.extend(client.responses);
+        latencies.extend(client.latencies_ms);
+    }
+    transcript.sort_unstable();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let ok = transcript
+        .iter()
+        .filter(|line| line.contains("\"ok\":true"))
+        .count();
+    let stats_line = send_one(&spec.addr, "{\"id\":\"stats\",\"op\":\"stats\"}")?;
+    Ok(LoadgenReport {
+        jobs: jobs.len(),
+        ok,
+        errors: transcript.len() - ok,
+        elapsed_ms,
+        throughput_jps: if elapsed_ms > 0.0 {
+            jobs.len() as f64 / (elapsed_ms / 1e3)
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        transcript,
+        stats_line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_mix_is_a_pure_function_of_the_seed() {
+        let a = job_mix(7, 40);
+        let b = job_mix(7, 40);
+        let c = job_mix(8, 40);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 40);
+        // Every line parses as a request or is answered with a typed error
+        // (never panics) — spot-check parseability of the well-formed ones.
+        let parsed = a
+            .iter()
+            .filter(|(_, line)| crate::protocol::parse_request(line).is_ok())
+            .count();
+        assert!(parsed >= 30, "most mix lines are valid requests: {parsed}");
+    }
+
+    #[test]
+    fn twins_in_the_mix_share_a_canonical_form() {
+        let pool = inline_pool(7);
+        for base in &pool {
+            let n = base.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0) + 1;
+            let perm = permutation(n, 99);
+            let twisted: Vec<(usize, usize)> =
+                base.iter().map(|&(u, v)| (perm[u], perm[v])).collect();
+            let build = |edges: &[(usize, usize)]| {
+                let mut b = anet_graph::GraphBuilder::new(n);
+                for &(u, v) in edges {
+                    b.add_edge_auto(u, v).expect("valid edge");
+                }
+                b.build().expect("valid graph")
+            };
+            assert_eq!(
+                build(base).canonical_hash(),
+                build(&twisted).canonical_hash(),
+                "renumbered twin must share the cache key"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&data, 0.50), 51.0);
+        assert_eq!(percentile(&data, 0.95), 95.0);
+        assert_eq!(percentile(&data, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,631 @@
+//! The NDJSON wire protocol: request model, parsing and response rendering.
+//!
+//! One JSON object per line in both directions. A request names a graph
+//! (inline edge list, a workload family expression, or a conformance-corpus
+//! instance id), a scheme from the paper's suite, and optionally an
+//! adversary (fault plan + execution model) riding on
+//! `Instance::elect_under`. Responses are rendered with a fixed field order
+//! and no wall-clock or cache-state fields, so **identical jobs produce
+//! byte-identical response lines** regardless of arrival order, thread
+//! count, or cache state — the property the service end-to-end tests `cmp`.
+//!
+//! Every failure is a *typed* error response (`"ok":false` with an
+//! [`ErrorKind`] tag), mirroring the `report` bin's exit-2 discipline for
+//! usage errors: malformed input never panics and is never silently
+//! dropped.
+
+use crate::json::{self, Json};
+
+/// Default cap on the length of one request line, in bytes. Longer lines
+/// are discarded and answered with an `oversized` error.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The job's graph, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// An inline undirected edge list; ports are assigned per node in
+    /// listed order (so the list order is part of the graph identity).
+    /// `num_nodes` defaults to `max endpoint + 1`.
+    Inline {
+        /// The edges as `(u, v)` endpoint pairs.
+        edges: Vec<(usize, usize)>,
+        /// Explicit node count, allowing trailing isolated nodes to be an
+        /// error rather than silently dropped.
+        num_nodes: Option<usize>,
+    },
+    /// A named workload family expression, e.g. `"lollipop(6,4)"` (see
+    /// `crate::workload`).
+    Workload(String),
+    /// A conformance-corpus instance id, e.g. `"phi_targeted(3,s=0)"`.
+    Corpus(String),
+}
+
+/// The advice scheme to run, as named on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// `"min_time"` — Theorem 3.1, elects in exactly φ rounds.
+    MinTime,
+    /// `"generic"` — `Generic { x: φ }` (the instance-optimal parameter).
+    GenericPhi,
+    /// `"generic(x=K)"` — `Generic { x: K }`.
+    Generic(usize),
+    /// `"milestone1"` … `"milestone4"` — the Theorem 4.1 milestones.
+    Milestone(u8),
+    /// `"remark"` — the Section 4 closing-remark scheme.
+    Remark,
+}
+
+/// The adversarial execution model, as named on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// `"raw"` — the bare exchange.
+    Raw,
+    /// `"reliable_links"` — per-node retransmit/ack adapters.
+    ReliableLinks,
+    /// `"restartable"` — generation-reset adapters (crash tolerance).
+    Restartable,
+}
+
+/// The adversary plan, as named on the wire (`"faults"` object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// `{"kind":"phase_skew","seed":S}` — permuted per-round phase order.
+    PhaseSkew {
+        /// Mixing seed for the per-round permutations.
+        seed: u64,
+    },
+    /// `{"kind":"drops","seed":S,"rate":R,"window":W}` — message drops.
+    Drops {
+        /// Mixing seed for the per-(round,node,port) drop decisions.
+        seed: u64,
+        /// Drop probability numerator out of 256.
+        rate: u8,
+        /// Forced-delivery window in rounds.
+        window: usize,
+    },
+    /// `{"kind":"churn","seed":S,"rate":R,"window":W}` — edge churn.
+    Churn {
+        /// Mixing seed for the per-(round,edge) down decisions.
+        seed: u64,
+        /// Down probability numerator out of 256.
+        rate: u8,
+        /// Forced-up window in rounds.
+        window: usize,
+    },
+    /// `{"kind":"crash","node":V,"at":R,"recover_at":R2}` — crash/restart.
+    Crash {
+        /// The node (in the job's numbering) that crashes.
+        node: usize,
+        /// The round at whose start it crashes.
+        at: usize,
+        /// The round at whose start it recovers.
+        recover_at: usize,
+    },
+}
+
+/// One election job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Where the graph comes from.
+    pub source: GraphSource,
+    /// Which scheme to run.
+    pub scheme: SchemeSpec,
+    /// Optional adversary plan.
+    pub faults: Option<FaultSpec>,
+    /// Optional explicit execution model (defaults per fault kind).
+    pub model: Option<ModelSpec>,
+}
+
+/// What a request line asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Run an election job.
+    Elect(Job),
+    /// Report engine counters (admin; response is cache-state-dependent by
+    /// design and excluded from byte-identity transcripts).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// A parsed request: the echoable id plus the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The client-chosen id, already rendered as a JSON fragment
+    /// (`"…"`, a number, or `null`).
+    pub id: String,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// Machine-readable error tags carried in `"error"` fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Parse,
+    /// The line was valid JSON but not a valid request.
+    Protocol,
+    /// The line exceeded the size cap and was discarded.
+    Oversized,
+    /// The scheme name is not in the suite.
+    UnknownScheme,
+    /// The workload expression names no known family.
+    UnknownWorkload,
+    /// The corpus id matches no instance.
+    UnknownCorpus,
+    /// The inline edge list does not define a valid connected port-labeled
+    /// graph.
+    BadGraph,
+    /// The graph exceeds the engine's configured node cap.
+    TooLarge,
+    /// Leader election is infeasible on the graph (symmetric views).
+    Infeasible,
+    /// The scheme/fault combination is not supported (adversarial runs ride
+    /// on the min-time pipeline only).
+    Unsupported,
+    /// The election itself failed (e.g. the adversary could not be
+    /// absorbed: a refusal, never a wrong answer).
+    Election,
+}
+
+impl ErrorKind {
+    /// The wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::UnknownScheme => "unknown_scheme",
+            ErrorKind::UnknownWorkload => "unknown_workload",
+            ErrorKind::UnknownCorpus => "unknown_corpus",
+            ErrorKind::BadGraph => "bad_graph",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Infeasible => "infeasible",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Election => "election",
+        }
+    }
+}
+
+/// A typed request-level failure, rendered by [`render_error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The machine-readable tag.
+    pub kind: ErrorKind,
+    /// The human-readable message.
+    pub message: String,
+}
+
+impl RequestError {
+    /// Convenience constructor.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        RequestError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// The id rendered when a line is so broken no id can be recovered.
+pub const NO_ID: &str = "null";
+
+/// Extracts the echoable id fragment from a parsed request object.
+fn id_fragment(value: &Json) -> String {
+    match value.get("id") {
+        Some(Json::Str(s)) => format!("\"{}\"", json::escape(s)),
+        Some(Json::Num(x)) if x.fract() == 0.0 => format!("{}", *x as i64),
+        _ => NO_ID.to_string(),
+    }
+}
+
+fn proto(message: impl Into<String>) -> RequestError {
+    RequestError::new(ErrorKind::Protocol, message)
+}
+
+/// Parses a scheme name as accepted on the wire.
+pub fn parse_scheme(name: &str) -> Result<SchemeSpec, RequestError> {
+    if name == "min_time" {
+        return Ok(SchemeSpec::MinTime);
+    }
+    if name == "generic" {
+        return Ok(SchemeSpec::GenericPhi);
+    }
+    if let Some(rest) = name.strip_prefix("generic(x=") {
+        if let Some(num) = rest.strip_suffix(')') {
+            if let Ok(x) = num.parse::<usize>() {
+                return Ok(SchemeSpec::Generic(x));
+            }
+        }
+    }
+    if let Some(m) = name.strip_prefix("milestone") {
+        if let Ok(i) = m.parse::<u8>() {
+            if (1..=4).contains(&i) {
+                return Ok(SchemeSpec::Milestone(i));
+            }
+        }
+    }
+    if name == "remark" {
+        return Ok(SchemeSpec::Remark);
+    }
+    Err(RequestError::new(
+        ErrorKind::UnknownScheme,
+        format!(
+            "unknown scheme {name:?} (expected min_time, generic, generic(x=K), \
+             milestone1..milestone4, or remark)"
+        ),
+    ))
+}
+
+fn parse_faults(value: &Json) -> Result<FaultSpec, RequestError> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto("faults object needs a string \"kind\""))?;
+    let seed = value.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    let need = |field: &str| -> Result<usize, RequestError> {
+        value
+            .get(field)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| proto(format!("faults kind {kind:?} needs integer \"{field}\"")))
+    };
+    match kind {
+        "phase_skew" => Ok(FaultSpec::PhaseSkew { seed }),
+        "drops" | "churn" => {
+            let rate = need("rate")?;
+            let window = need("window")?;
+            if rate > 255 {
+                return Err(proto("\"rate\" must be 0..=255"));
+            }
+            if window == 0 {
+                return Err(proto("\"window\" must be >= 1"));
+            }
+            if kind == "drops" {
+                Ok(FaultSpec::Drops {
+                    seed,
+                    rate: rate as u8,
+                    window,
+                })
+            } else {
+                Ok(FaultSpec::Churn {
+                    seed,
+                    rate: rate as u8,
+                    window,
+                })
+            }
+        }
+        "crash" => {
+            let node = need("node")?;
+            let at = need("at")?;
+            let recover_at = need("recover_at")?;
+            if recover_at <= at {
+                return Err(proto("\"recover_at\" must be after \"at\""));
+            }
+            Ok(FaultSpec::Crash {
+                node,
+                at,
+                recover_at,
+            })
+        }
+        other => Err(proto(format!(
+            "unknown faults kind {other:?} (expected phase_skew, drops, churn, or crash)"
+        ))),
+    }
+}
+
+fn parse_model(name: &str) -> Result<ModelSpec, RequestError> {
+    match name {
+        "raw" => Ok(ModelSpec::Raw),
+        "reliable_links" => Ok(ModelSpec::ReliableLinks),
+        "restartable" => Ok(ModelSpec::Restartable),
+        other => Err(proto(format!(
+            "unknown model {other:?} (expected raw, reliable_links, or restartable)"
+        ))),
+    }
+}
+
+fn parse_source(value: &Json) -> Result<GraphSource, RequestError> {
+    let inline = value.get("edges");
+    let workload = value.get("workload");
+    let corpus = value.get("corpus");
+    let given = [inline.is_some(), workload.is_some(), corpus.is_some()]
+        .iter()
+        .filter(|&&b| b)
+        .count();
+    if given != 1 {
+        return Err(proto(
+            "an elect request needs exactly one of \"edges\", \"workload\", \"corpus\"",
+        ));
+    }
+    if let Some(list) = inline {
+        let items = list
+            .as_array()
+            .ok_or_else(|| proto("\"edges\" must be an array of [u,v] pairs"))?;
+        let mut edges = Vec::with_capacity(items.len());
+        for item in items {
+            let pair = item
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| proto("every edge must be a [u,v] pair"))?;
+            let u = pair[0]
+                .as_usize()
+                .ok_or_else(|| proto("edge endpoints must be non-negative integers"))?;
+            let v = pair[1]
+                .as_usize()
+                .ok_or_else(|| proto("edge endpoints must be non-negative integers"))?;
+            edges.push((u, v));
+        }
+        let num_nodes = match value.get("n") {
+            None => None,
+            Some(n) => Some(
+                n.as_usize()
+                    .ok_or_else(|| proto("\"n\" must be a non-negative integer"))?,
+            ),
+        };
+        return Ok(GraphSource::Inline { edges, num_nodes });
+    }
+    if let Some(w) = workload {
+        let name = w
+            .as_str()
+            .ok_or_else(|| proto("\"workload\" must be a string"))?;
+        return Ok(GraphSource::Workload(name.to_string()));
+    }
+    let name = corpus
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto("\"corpus\" must be a string"))?;
+    Ok(GraphSource::Corpus(name.to_string()))
+}
+
+/// Parses one request line. On failure the result carries the recovered id
+/// fragment (or [`NO_ID`]) so the error response can still be correlated.
+pub fn parse_request(line: &str) -> Result<Request, (String, RequestError)> {
+    let value = json::parse(line).map_err(|e| {
+        (
+            NO_ID.to_string(),
+            RequestError::new(ErrorKind::Parse, e.to_string()),
+        )
+    })?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err((NO_ID.to_string(), proto("a request must be a JSON object")));
+    }
+    let id = id_fragment(&value);
+    let fail = |e: RequestError| (id.clone(), e);
+    let op = match value.get("op") {
+        None => "elect",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| fail(proto("\"op\" must be a string")))?,
+    };
+    let body = match op {
+        "stats" => RequestBody::Stats,
+        "ping" => RequestBody::Ping,
+        "shutdown" => RequestBody::Shutdown,
+        "elect" => {
+            let source = parse_source(&value).map_err(&fail)?;
+            let scheme = match value.get("scheme") {
+                None => SchemeSpec::MinTime,
+                Some(s) => {
+                    let name = s
+                        .as_str()
+                        .ok_or_else(|| fail(proto("\"scheme\" must be a string")))?;
+                    parse_scheme(name).map_err(&fail)?
+                }
+            };
+            let faults = match value.get("faults") {
+                None => None,
+                Some(f) => Some(parse_faults(f).map_err(&fail)?),
+            };
+            let model = match value.get("model") {
+                None => None,
+                Some(m) => {
+                    let name = m
+                        .as_str()
+                        .ok_or_else(|| fail(proto("\"model\" must be a string")))?;
+                    Some(parse_model(name).map_err(&fail)?)
+                }
+            };
+            if faults.is_none() && model.is_some() {
+                return Err(fail(proto("\"model\" is only meaningful with \"faults\"")));
+            }
+            RequestBody::Elect(Job {
+                source,
+                scheme,
+                faults,
+                model,
+            })
+        }
+        other => {
+            return Err(fail(proto(format!(
+                "unknown op {other:?} (expected elect, stats, ping, or shutdown)"
+            ))))
+        }
+    };
+    Ok(Request { id, body })
+}
+
+/// The fields of a successful election response, already translated into
+/// the job's node numbering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OkBody {
+    /// The canonical cache key (hex of `Graph::canonical_hash`).
+    pub key: u64,
+    /// The scheme name as run (`generic` is resolved to `generic(x=φ)`).
+    pub scheme: String,
+    /// `"clean"` or the adversarial execution model.
+    pub model: &'static str,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// The election index φ.
+    pub phi: usize,
+    /// The elected leader, in the job's numbering.
+    pub leader: usize,
+    /// Rounds until every node halted.
+    pub time: usize,
+    /// Advice size in bits.
+    pub advice_bits: usize,
+    /// Scheme parameter, when the scheme has one.
+    pub parameter: Option<u64>,
+    /// The theorem time bound (clean runs only).
+    pub time_bound: Option<usize>,
+}
+
+fn opt_u64(value: Option<u64>) -> String {
+    match value {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders a successful election response line (no trailing newline).
+/// Field order is fixed; no wall-clock or cache-state fields appear, which
+/// is what makes responses byte-identical across arrival orders and thread
+/// counts.
+pub fn render_ok(id: &str, body: &OkBody) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"key\":\"{key:016x}\",\"scheme\":\"{scheme}\",\
+         \"model\":\"{model}\",\"n\":{n},\"m\":{m},\"phi\":{phi},\"leader\":{leader},\
+         \"time\":{time},\"advice_bits\":{advice},\"parameter\":{parameter},\
+         \"time_bound\":{bound}}}",
+        key = body.key,
+        scheme = json::escape(&body.scheme),
+        model = body.model,
+        n = body.n,
+        m = body.m,
+        phi = body.phi,
+        leader = body.leader,
+        time = body.time,
+        advice = body.advice_bits,
+        parameter = opt_u64(body.parameter),
+        bound = opt_u64(body.time_bound.map(|b| b as u64)),
+    )
+}
+
+/// Renders a typed error response line (no trailing newline).
+pub fn render_error(id: &str, error: &RequestError) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        error.kind.as_str(),
+        json::escape(&error.message)
+    )
+}
+
+/// Renders the infeasible-graph refusal, which carries the graph facts that
+/// justify it (all derivable from the canonical form, hence deterministic).
+pub fn render_infeasible(id: &str, n: usize, m: usize, distinct_views: usize) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":\"infeasible\",\
+         \"message\":\"leader election is infeasible: {distinct_views} distinct view(s) \
+         among {n} node(s)\",\"n\":{n},\"m\":{m},\"distinct_views\":{distinct_views}}}"
+    )
+}
+
+/// Renders the ping response.
+pub fn render_pong(id: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"pong\":true}}")
+}
+
+/// Renders the shutdown acknowledgement.
+pub fn render_shutdown(id: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"shutdown\":true}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_inline_job() {
+        let req = parse_request(r#"{"id":"j1","edges":[[0,1],[1,2]]}"#).expect("valid");
+        assert_eq!(req.id, "\"j1\"");
+        match req.body {
+            RequestBody::Elect(job) => {
+                assert_eq!(job.scheme, SchemeSpec::MinTime);
+                assert_eq!(
+                    job.source,
+                    GraphSource::Inline {
+                        edges: vec![(0, 1), (1, 2)],
+                        num_nodes: None
+                    }
+                );
+                assert!(job.faults.is_none());
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scheme_names() {
+        assert_eq!(parse_scheme("min_time"), Ok(SchemeSpec::MinTime));
+        assert_eq!(parse_scheme("generic"), Ok(SchemeSpec::GenericPhi));
+        assert_eq!(parse_scheme("generic(x=12)"), Ok(SchemeSpec::Generic(12)));
+        assert_eq!(parse_scheme("milestone3"), Ok(SchemeSpec::Milestone(3)));
+        assert_eq!(parse_scheme("remark"), Ok(SchemeSpec::Remark));
+        for bad in ["milestone0", "milestone5", "generic(x=)", "fast", ""] {
+            assert_eq!(
+                parse_scheme(bad).map_err(|e| e.kind),
+                Err(ErrorKind::UnknownScheme),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_errors_carry_the_recovered_id() {
+        let (id, err) = parse_request(r#"{"id":"x","workload":1}"#).expect_err("invalid");
+        assert_eq!(id, "\"x\"");
+        assert_eq!(err.kind, ErrorKind::Protocol);
+        let (id, err) = parse_request("not json").expect_err("invalid");
+        assert_eq!(id, NO_ID);
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn model_without_faults_is_rejected() {
+        let (_, err) = parse_request(r#"{"edges":[[0,1]],"model":"raw"}"#).expect_err("invalid");
+        assert_eq!(err.kind, ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn exactly_one_graph_source_is_required() {
+        for line in [
+            r#"{"id":"a"}"#,
+            r#"{"id":"a","edges":[[0,1]],"workload":"ring(4)"}"#,
+        ] {
+            let (_, err) = parse_request(line).expect_err("invalid");
+            assert_eq!(err.kind, ErrorKind::Protocol);
+        }
+    }
+
+    #[test]
+    fn rendered_responses_are_stable() {
+        let body = OkBody {
+            key: 0xABCD,
+            scheme: "min_time".into(),
+            model: "clean",
+            n: 3,
+            m: 2,
+            phi: 1,
+            leader: 2,
+            time: 1,
+            advice_bits: 17,
+            parameter: None,
+            time_bound: Some(1),
+        };
+        assert_eq!(
+            render_ok("\"j1\"", &body),
+            "{\"id\":\"j1\",\"ok\":true,\"key\":\"000000000000abcd\",\
+             \"scheme\":\"min_time\",\"model\":\"clean\",\"n\":3,\"m\":2,\"phi\":1,\
+             \"leader\":2,\"time\":1,\"advice_bits\":17,\"parameter\":null,\
+             \"time_bound\":1}"
+        );
+        let err = RequestError::new(ErrorKind::UnknownScheme, "unknown scheme \"x\"");
+        assert_eq!(
+            render_error(NO_ID, &err),
+            "{\"id\":null,\"ok\":false,\"error\":\"unknown_scheme\",\
+             \"message\":\"unknown scheme \\\"x\\\"\"}"
+        );
+    }
+}

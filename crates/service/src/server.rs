@@ -1,0 +1,245 @@
+//! The transport layer: NDJSON over TCP or Unix sockets, plus the one-shot
+//! stdin batch mode.
+//!
+//! Each accepted connection is served by its own `std::thread::scope`
+//! worker reading bounded lines (over-long lines are discarded and answered
+//! with a typed `oversized` error, so a hostile client cannot balloon
+//! memory). A `shutdown` request flips the engine flag and pokes the
+//! listener with a dummy connection so the accept loop observes it; the
+//! scope then joins all in-flight connections before returning. Client
+//! disconnects mid-request are normal termination for that connection —
+//! never a panic, never a torn response.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+use crate::engine::{run_batch, Engine};
+use crate::protocol::{self, ErrorKind, RequestError};
+
+/// One bounded line read off a connection.
+enum Line {
+    /// A complete line (without the newline).
+    Data(Vec<u8>),
+    /// The line exceeded the cap and was discarded up to its newline.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `max` bytes.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<Line> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                Line::TooLong
+            } else if buf.is_empty() {
+                Line::Eof
+            } else {
+                Line::Data(buf)
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        match newline {
+            Some(i) => {
+                if !overflow {
+                    buf.extend_from_slice(&chunk[..i]);
+                }
+                reader.consume(i + 1);
+                if overflow || buf.len() > max {
+                    return Ok(Line::TooLong);
+                }
+                return Ok(Line::Data(buf));
+            }
+            None => {
+                if !overflow {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max {
+                        overflow = true;
+                        buf = Vec::new();
+                    }
+                }
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn oversized_line(max: usize) -> String {
+    protocol::render_error(
+        protocol::NO_ID,
+        &RequestError::new(
+            ErrorKind::Oversized,
+            format!("request line exceeds {max} bytes and was discarded"),
+        ),
+    )
+}
+
+fn utf8_error_line() -> String {
+    protocol::render_error(
+        protocol::NO_ID,
+        &RequestError::new(ErrorKind::Parse, "request line is not valid UTF-8"),
+    )
+}
+
+/// Serves one connection until EOF or shutdown. Returns whether the client
+/// requested shutdown. IO errors (disconnects mid-request) terminate the
+/// connection gracefully.
+pub fn handle_connection<R: Read, W: Write>(
+    reader: R,
+    writer: W,
+    engine: &Engine,
+    max_line: usize,
+) -> io::Result<bool> {
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    loop {
+        let response = match read_line_bounded(&mut reader, max_line)? {
+            Line::Eof => return Ok(false),
+            Line::TooLong => oversized_line(max_line),
+            Line::Data(bytes) => match String::from_utf8(bytes) {
+                Err(_) => utf8_error_line(),
+                Ok(line) => {
+                    let reply = engine.execute_line(&line);
+                    if reply.shutdown {
+                        writer.write_all(reply.text.as_bytes())?;
+                        writer.write_all(b"\n")?;
+                        writer.flush()?;
+                        return Ok(true);
+                    }
+                    reply.text
+                }
+            },
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Accept loop over a TCP listener. Returns once a client sends `shutdown`
+/// (after all in-flight connections drain). Bind to port 0 to let the OS
+/// pick (the bound address is `listener.local_addr()`).
+pub fn serve_tcp(listener: &TcpListener, engine: &Engine, max_line: usize) -> io::Result<()> {
+    let local = listener.local_addr()?;
+    std::thread::scope(|scope| {
+        loop {
+            let (stream, _peer) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(_) => break,
+            };
+            if engine.is_shutdown() {
+                break;
+            }
+            scope.spawn(move || {
+                let shutdown =
+                    handle_connection(&stream, &stream, engine, max_line).unwrap_or(false);
+                if shutdown {
+                    // Poke the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
+/// Accept loop over a Unix socket listener (`path` is the bound socket,
+/// used for the shutdown wake-up poke). Semantics match [`serve_tcp`].
+pub fn serve_unix(
+    listener: &UnixListener,
+    path: &Path,
+    engine: &Engine,
+    max_line: usize,
+) -> io::Result<()> {
+    std::thread::scope(|scope| loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => break,
+        };
+        if engine.is_shutdown() {
+            break;
+        }
+        scope.spawn(move || {
+            let shutdown = handle_connection(&stream, &stream, engine, max_line).unwrap_or(false);
+            if shutdown {
+                let _ = UnixStream::connect(path);
+            }
+        });
+    });
+    Ok(())
+}
+
+/// One-shot batch mode: read every line of `input`, execute on `workers`
+/// scoped threads (responses in input order; see
+/// [`run_batch`]), write them to `output`.
+pub fn run_stdin_batch(
+    engine: &Engine,
+    input: impl BufRead,
+    mut output: impl Write,
+    workers: usize,
+) -> io::Result<()> {
+    let lines: Vec<String> = input.lines().collect::<io::Result<_>>()?;
+    for response in run_batch(engine, &lines, workers) {
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+    }
+    output.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    #[test]
+    fn bounded_reader_discards_oversized_lines_and_recovers() {
+        let long = "x".repeat(64);
+        let input = format!("short\n{long}\nafter\n");
+        let mut reader = BufReader::with_capacity(8, input.as_bytes());
+        assert!(matches!(
+            read_line_bounded(&mut reader, 16),
+            Ok(Line::Data(d)) if d == b"short"
+        ));
+        assert!(matches!(
+            read_line_bounded(&mut reader, 16),
+            Ok(Line::TooLong)
+        ));
+        assert!(matches!(
+            read_line_bounded(&mut reader, 16),
+            Ok(Line::Data(d)) if d == b"after"
+        ));
+        assert!(matches!(read_line_bounded(&mut reader, 16), Ok(Line::Eof)));
+    }
+
+    #[test]
+    fn handle_connection_answers_every_line() {
+        let engine = Engine::new(EngineConfig::default());
+        let input = "{\"id\":\"p\",\"op\":\"ping\"}\nnot json\n";
+        let mut out: Vec<u8> = Vec::new();
+        let shutdown = handle_connection(input.as_bytes(), &mut out, &engine, 1024).expect("io ok");
+        assert!(!shutdown);
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"pong\":true"));
+        assert!(lines[1].contains("\"error\":\"parse\""));
+    }
+
+    #[test]
+    fn shutdown_request_ends_the_connection() {
+        let engine = Engine::new(EngineConfig::default());
+        let input = "{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n";
+        let mut out: Vec<u8> = Vec::new();
+        let shutdown = handle_connection(input.as_bytes(), &mut out, &engine, 1024).expect("io ok");
+        assert!(shutdown);
+        assert!(engine.is_shutdown());
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.lines().count(), 1, "nothing served after shutdown");
+    }
+}

@@ -1,0 +1,268 @@
+//! Named workload resolution: `"lollipop(6,4)"` → a [`Graph`].
+//!
+//! The service accepts the same families the bench workloads draw from, but
+//! resolves them itself (`anet-bench` depends on `anet-service` to host the
+//! `report serve`/`loadgen` subcommands, so the dependency cannot point the
+//! other way). Every expression is `family(arg,arg,…)` with non-negative
+//! integer arguments; unknown families or malformed expressions come back
+//! as typed errors, never panics.
+
+use anet_families::{necklace, ring_of_cliques};
+use anet_graph::{generators, Graph};
+
+use crate::protocol::{ErrorKind, RequestError};
+
+fn bad(name: &str, why: &str) -> RequestError {
+    RequestError::new(
+        ErrorKind::UnknownWorkload,
+        format!("workload {name:?}: {why}"),
+    )
+}
+
+/// Splits `family(a,b,c)` into the family name and its integer arguments.
+fn split(expr: &str) -> Option<(&str, Vec<u64>)> {
+    let open = expr.find('(')?;
+    let family = &expr[..open];
+    let inner = expr[open + 1..].strip_suffix(')')?;
+    if family.is_empty() || family.contains(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+        return None;
+    }
+    let mut args = Vec::new();
+    if !inner.is_empty() {
+        for piece in inner.split(',') {
+            args.push(piece.trim().parse::<u64>().ok()?);
+        }
+    }
+    Some((family, args))
+}
+
+/// The list of families [`build`] understands, for error messages and docs.
+pub const FAMILIES: &[&str] = &[
+    "ring(n)",
+    "path(n)",
+    "clique(n)",
+    "star(k)",
+    "complete_bipartite(a,b)",
+    "hypercube(d)",
+    "torus(rows,cols)",
+    "binary_tree(levels)",
+    "caterpillar(spine)",
+    "lollipop(clique,tail)",
+    "random(n,extra_edges,seed)",
+    "tree(n,seed)",
+    "phi_targeted(target,seed)",
+    "ring_of_cliques(k,x)",
+    "necklace(k,x)",
+];
+
+/// Resolves a workload expression to its graph. `max_nodes` caps the
+/// *requested* size before construction, so an oversized expression fails
+/// fast instead of allocating.
+pub fn build(expr: &str, max_nodes: usize) -> Result<Graph, RequestError> {
+    let (family, args) =
+        split(expr).ok_or_else(|| bad(expr, "expected family(arg,…) with integer arguments"))?;
+    let arity = |k: usize| -> Result<(), RequestError> {
+        if args.len() == k {
+            Ok(())
+        } else {
+            Err(bad(expr, &format!("expected {k} argument(s)")))
+        }
+    };
+    let check_n = |n: u64| -> Result<usize, RequestError> {
+        if n as usize > max_nodes {
+            Err(RequestError::new(
+                ErrorKind::TooLarge,
+                format!("workload {expr:?} has {n} nodes; the cap is {max_nodes}"),
+            ))
+        } else {
+            Ok(n as usize)
+        }
+    };
+    match family {
+        "ring" => {
+            arity(1)?;
+            let n = check_n(args[0])?;
+            if n < 3 {
+                return Err(bad(expr, "a ring needs n >= 3"));
+            }
+            Ok(generators::ring(n))
+        }
+        "path" => {
+            arity(1)?;
+            let n = check_n(args[0])?;
+            if n < 2 {
+                return Err(bad(expr, "a path needs n >= 2"));
+            }
+            Ok(generators::path(n))
+        }
+        "clique" => {
+            arity(1)?;
+            let n = check_n(args[0])?;
+            if n < 2 {
+                return Err(bad(expr, "a clique needs n >= 2"));
+            }
+            Ok(generators::clique(n))
+        }
+        "star" => {
+            arity(1)?;
+            let k = check_n(args[0].saturating_add(1))? - 1;
+            if k < 1 {
+                return Err(bad(expr, "a star needs k >= 1 leaves"));
+            }
+            Ok(generators::star(k))
+        }
+        "complete_bipartite" => {
+            arity(2)?;
+            check_n(args[0].saturating_add(args[1]))?;
+            if args[0] == 0 || args[1] == 0 {
+                return Err(bad(expr, "both sides must be non-empty"));
+            }
+            Ok(generators::complete_bipartite(
+                args[0] as usize,
+                args[1] as usize,
+            ))
+        }
+        "hypercube" => {
+            arity(1)?;
+            if args[0] > 24 {
+                return Err(bad(expr, "dimension too large"));
+            }
+            check_n(1u64 << args[0])?;
+            Ok(generators::hypercube(args[0] as usize))
+        }
+        "torus" => {
+            arity(2)?;
+            if args[0] < 3 || args[1] < 3 {
+                return Err(bad(expr, "a torus needs rows, cols >= 3"));
+            }
+            check_n(args[0].saturating_mul(args[1]))?;
+            Ok(generators::torus(args[0] as usize, args[1] as usize))
+        }
+        "binary_tree" => {
+            arity(1)?;
+            if args[0] == 0 || args[0] > 24 {
+                return Err(bad(expr, "levels must be 1..=24"));
+            }
+            check_n((1u64 << args[0]) - 1)?;
+            Ok(generators::binary_tree(args[0] as usize))
+        }
+        "caterpillar" => {
+            arity(1)?;
+            if args[0] < 2 {
+                return Err(bad(expr, "a caterpillar needs spine >= 2"));
+            }
+            check_n(args[0].saturating_mul(args[0].saturating_add(1)))?;
+            Ok(generators::caterpillar(args[0] as usize))
+        }
+        "lollipop" => {
+            arity(2)?;
+            if args[0] < 3 {
+                return Err(bad(expr, "a lollipop needs clique >= 3"));
+            }
+            check_n(args[0].saturating_add(args[1]))?;
+            Ok(generators::lollipop(args[0] as usize, args[1] as usize))
+        }
+        "random" => {
+            arity(3)?;
+            let n = check_n(args[0])?;
+            if n < 2 {
+                return Err(bad(expr, "a random graph needs n >= 2"));
+            }
+            Ok(generators::random_connected_sparse(
+                n,
+                args[1] as usize,
+                args[2],
+            ))
+        }
+        "tree" => {
+            arity(2)?;
+            let n = check_n(args[0])?;
+            if n < 2 {
+                return Err(bad(expr, "a tree needs n >= 2"));
+            }
+            Ok(generators::random_tree(n, args[1]))
+        }
+        "phi_targeted" => {
+            arity(2)?;
+            if args[0] == 0 {
+                return Err(bad(expr, "target must be >= 1"));
+            }
+            check_n(args[0].saturating_mul(64).saturating_add(64))?;
+            Ok(generators::phi_targeted(args[0] as usize, args[1]))
+        }
+        "ring_of_cliques" => {
+            arity(2)?;
+            let (k, x) = (args[0] as usize, args[1] as usize);
+            if k < 3 || x < 3 {
+                return Err(bad(expr, "ring_of_cliques needs k >= 3, x >= 3"));
+            }
+            check_n(ring_of_cliques::family_gk_num_nodes(k, x) as u64)?;
+            Ok(ring_of_cliques::ring_of_cliques_base(k, x))
+        }
+        "necklace" => {
+            arity(2)?;
+            let (k, x) = (args[0] as usize, args[1] as usize);
+            if k < 2 || k % 2 != 0 || x < 3 {
+                return Err(bad(expr, "necklace needs even k >= 2 and x >= 3"));
+            }
+            let params = necklace::NecklaceParams { k, x, phi: 3 };
+            check_n(params.num_nodes() as u64)?;
+            Ok(necklace::necklace_base(params))
+        }
+        _ => Err(bad(
+            expr,
+            &format!("unknown family (known: {})", FAMILIES.join(", ")),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_known_families() {
+        assert_eq!(build("ring(5)", 1000).map(|g| g.num_nodes()), Ok(5));
+        assert_eq!(build("lollipop(5,3)", 1000).map(|g| g.num_nodes()), Ok(8));
+        assert_eq!(build("torus(3,4)", 1000).map(|g| g.num_nodes()), Ok(12));
+        assert_eq!(
+            build("random(20, 10, 7)", 1000).map(|g| g.num_nodes()),
+            Ok(20)
+        );
+        assert!(build("ring_of_cliques(4,3)", 1000).is_ok());
+        assert!(build("necklace(4,3)", 1000).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_expressions() {
+        for bad in [
+            "nope(3)",
+            "ring",
+            "ring()",
+            "ring(x)",
+            "ring(3",
+            "ring(3))",
+            "lollipop(5)",
+            "",
+            "ring(-3)",
+        ] {
+            let err = build(bad, 1000).expect_err(bad);
+            assert_eq!(err.kind, ErrorKind::UnknownWorkload, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected_not_panicked() {
+        for bad in ["ring(2)", "clique(1)", "torus(2,5)", "necklace(3,3)"] {
+            assert!(build(bad, 1000).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn the_node_cap_fails_fast() {
+        let err = build("hypercube(20)", 1000).expect_err("over cap");
+        assert_eq!(err.kind, ErrorKind::TooLarge);
+        let err = build("ring(5000)", 1000).expect_err("over cap");
+        assert_eq!(err.kind, ErrorKind::TooLarge);
+    }
+}

@@ -1,0 +1,223 @@
+//! End-to-end service behaviour: a real daemon under concurrent load, the
+//! warm-cache single-flight guarantee (`compute_counts` proves one analysis
+//! per distinct canonical graph), and byte-identical responses across
+//! arrival orders, worker counts, and transports.
+
+use std::net::TcpListener;
+
+use anet_service::loadgen::{self, LoadgenSpec};
+use anet_service::{job_mix, run_batch, Engine, EngineConfig};
+
+const SEED: u64 = 7;
+const JOBS: usize = 80;
+
+fn mix_lines() -> Vec<String> {
+    job_mix(SEED, JOBS)
+        .into_iter()
+        .map(|(_, line)| line)
+        .collect()
+}
+
+/// Sorted responses of the seeded mix run through `run_batch` on a fresh
+/// engine with `workers` threads.
+fn batch_transcript(workers: usize, lines: &[String]) -> Vec<String> {
+    let engine = Engine::new(EngineConfig::default());
+    let mut responses = run_batch(&engine, lines, workers);
+    responses.sort_unstable();
+    responses
+}
+
+#[test]
+fn responses_are_byte_identical_across_worker_counts_and_orders() {
+    let lines = mix_lines();
+    let one = batch_transcript(1, &lines);
+    let eight = batch_transcript(8, &lines);
+    assert_eq!(one, eight, "worker count must not leak into responses");
+
+    // Reversed arrival order: different cache warm-up sequence, same bytes.
+    let reversed: Vec<String> = lines.iter().rev().cloned().collect();
+    let backwards = batch_transcript(4, &reversed);
+    assert_eq!(one, backwards, "arrival order must not leak into responses");
+}
+
+#[test]
+fn the_cache_pays_one_analysis_per_distinct_canonical_graph() {
+    let lines = mix_lines();
+    let engine = Engine::new(EngineConfig::default());
+    let responses = run_batch(&engine, &lines, 8);
+    assert_eq!(responses.len(), lines.len(), "every job answered");
+
+    let counts = engine.compute_counts();
+    assert!(!counts.is_empty());
+    for (key, c) in &counts {
+        assert_eq!(
+            c.analysis, 1,
+            "session {key:016x} must pay the quotient analysis exactly once \
+             across the whole concurrent batch"
+        );
+    }
+
+    // Cache accounting is deterministic: misses == sessions built ==
+    // distinct canonical graphs among the feasible jobs (capacity 64 is
+    // never exceeded by this mix, so nothing is rebuilt).
+    let stats = engine.stats();
+    assert_eq!(stats.cache.misses, counts.len() as u64);
+    assert_eq!(stats.cache.evictions, 0);
+    assert!(
+        stats.cache.hits > stats.cache.misses,
+        "the mix repeats graphs"
+    );
+    assert_eq!(stats.jobs, stats.ok + stats.infeasible + stats.errors);
+    assert!(stats.infeasible > 0, "the mix includes infeasible jobs");
+    assert!(stats.errors > 0, "the mix includes garbage jobs");
+}
+
+#[test]
+fn renumbered_twins_share_a_session_and_get_corresponding_leaders() {
+    let engine = Engine::new(EngineConfig::default());
+    // A lollipop as an inline edge list, and the same graph with node
+    // labels pushed up by one (mod n), edge order preserved.
+    let base: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)];
+    let n = 6;
+    let perm: Vec<usize> = (0..n).map(|v| (v + 1) % n).collect();
+    let twin: Vec<(usize, usize)> = base.iter().map(|&(u, v)| (perm[u], perm[v])).collect();
+    let render = |edges: &[(usize, usize)], id: &str| {
+        let pairs: Vec<String> = edges.iter().map(|&(u, v)| format!("[{u},{v}]")).collect();
+        format!(
+            "{{\"id\":\"{id}\",\"edges\":[{}],\"scheme\":\"min_time\"}}",
+            pairs.join(",")
+        )
+    };
+    let lines = vec![render(&base, "base"), render(&twin, "twin")];
+    let responses = run_batch(&engine, &lines, 2);
+
+    let field = |resp: &str, name: &str| -> String {
+        let start = resp.find(&format!("\"{name}\":")).expect(name) + name.len() + 3;
+        resp[start..]
+            .chars()
+            .take_while(|c| *c != ',' && *c != '}')
+            .collect()
+    };
+    // One cache entry, one analysis: the twins share the canonical session.
+    assert_eq!(field(&responses[0], "key"), field(&responses[1], "key"));
+    let counts = engine.compute_counts();
+    assert_eq!(counts.len(), 1, "twins share one session");
+    assert_eq!(counts[0].1.analysis, 1);
+    assert_eq!(engine.stats().cache.misses, 1);
+    assert_eq!(engine.stats().cache.hits, 1);
+
+    // And the answers correspond under the renumbering.
+    let leader_base: usize = field(&responses[0], "leader")
+        .trim_matches('"')
+        .parse()
+        .expect("leader");
+    let leader_twin: usize = field(&responses[1], "leader")
+        .trim_matches('"')
+        .parse()
+        .expect("leader");
+    assert_eq!(leader_twin, perm[leader_base], "leaders correspond");
+    assert_eq!(field(&responses[0], "phi"), field(&responses[1], "phi"));
+    assert_eq!(field(&responses[0], "time"), field(&responses[1], "time"));
+}
+
+#[test]
+fn a_live_daemon_under_concurrent_load_matches_the_batch_transcript() {
+    let lines = mix_lines();
+    let expected = batch_transcript(1, &lines);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new(EngineConfig::default());
+    std::thread::scope(|scope| {
+        scope.spawn(|| anet_service::serve_tcp(&listener, &engine, 1 << 20).expect("serve"));
+
+        let report = loadgen::run(&LoadgenSpec {
+            addr: addr.clone(),
+            seed: SEED,
+            jobs: JOBS,
+            clients: 4,
+            rate_jps: None,
+        })
+        .expect("loadgen");
+        assert_eq!(report.jobs, JOBS);
+        assert_eq!(report.ok + report.errors, JOBS);
+        assert_eq!(
+            report.transcript, expected,
+            "the daemon's sorted transcript must match single-threaded batch \
+             mode byte for byte"
+        );
+        assert!(
+            report.stats_line.contains("\"ok\":true"),
+            "{}",
+            report.stats_line
+        );
+
+        let ack =
+            loadgen::send_one(&addr, "{\"id\":\"bye\",\"op\":\"shutdown\"}").expect("shutdown");
+        assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    });
+
+    // The daemon paid one analysis per distinct canonical graph even with
+    // 4 concurrent clients racing on cold slots.
+    for (key, c) in engine.compute_counts() {
+        assert_eq!(c.analysis, 1, "session {key:016x}");
+    }
+}
+
+#[test]
+fn open_loop_load_is_also_answered_completely_and_identically() {
+    let lines = mix_lines();
+    let expected = batch_transcript(1, &lines);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Engine::new(EngineConfig::default());
+    std::thread::scope(|scope| {
+        scope.spawn(|| anet_service::serve_tcp(&listener, &engine, 1 << 20).expect("serve"));
+
+        let report = loadgen::run(&LoadgenSpec {
+            addr: addr.clone(),
+            seed: SEED,
+            jobs: JOBS,
+            clients: 2,
+            rate_jps: Some(5000),
+        })
+        .expect("loadgen");
+        assert_eq!(report.transcript, expected);
+
+        let ack =
+            loadgen::send_one(&addr, "{\"id\":\"bye\",\"op\":\"shutdown\"}").expect("shutdown");
+        assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    });
+}
+
+#[test]
+fn stats_and_corpus_jobs_work_over_the_wire() {
+    let engine = Engine::new(EngineConfig {
+        corpus_max_n: 120,
+        ..EngineConfig::default()
+    });
+    let lines = vec![
+        "{\"id\":\"c1\",\"corpus\":\"phi_targeted(3,s=0)\",\"scheme\":\"generic\"}".to_string(),
+        "{\"id\":\"c2\",\"corpus\":\"phi_targeted(3,s=0)\",\"scheme\":\"generic\"}".to_string(),
+        "{\"id\":\"s\",\"op\":\"stats\"}".to_string(),
+    ];
+    let responses = run_batch(&engine, &lines, 2);
+    assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+    assert_eq!(
+        responses[0].replace("\"id\":\"c1\"", ""),
+        responses[1].replace("\"id\":\"c2\"", "")
+    );
+    // Admin lines are answered after all jobs, so the stats are stable.
+    assert!(responses[2].contains("\"jobs\":2"), "{}", responses[2]);
+    assert!(
+        responses[2].contains("\"cache_misses\":1"),
+        "{}",
+        responses[2]
+    );
+    assert!(
+        responses[2].contains("\"cache_hits\":1"),
+        "{}",
+        responses[2]
+    );
+}

@@ -18,7 +18,11 @@
 //!   conformance harness (`report corpus`),
 //! * [`analysis`] — the workspace static-analysis pass (`report lint`):
 //!   determinism, panic-hygiene and doc-integrity lints over this source
-//!   tree itself.
+//!   tree itself,
+//! * [`service`] — election as a service (`report serve`): an NDJSON
+//!   daemon answering election jobs from a warm-`Instance` session cache
+//!   keyed by canonical graph encoding, plus its deterministic load
+//!   generator (`report loadgen`).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -31,6 +35,7 @@ pub use anet_conformance as conformance;
 pub use anet_election as election;
 pub use anet_families as families;
 pub use anet_graph as graph;
+pub use anet_service as service;
 pub use anet_sim as sim;
 pub use anet_views as views;
 
