@@ -219,6 +219,10 @@ pub fn random_connected_sparse(n: usize, extra_edges: usize, seed: u64) -> Graph
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut rng);
+    // Clamp before any capacity computation: `extra_edges` beyond the
+    // complete graph must not be able to overflow the allocation size.
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let extra_edges = extra_edges.min(max_extra);
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1 + extra_edges);
     let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(n - 1 + extra_edges);
     for i in 1..n {
@@ -230,8 +234,7 @@ pub fn random_connected_sparse(n: usize, extra_edges: usize, seed: u64) -> Graph
     }
     // Rejection-sample the extra edges; the attempt budget keeps termination
     // unconditional even when `extra_edges` approaches the complete graph.
-    let max_extra = n * (n - 1) / 2 - (n - 1);
-    let target = extra_edges.min(max_extra);
+    let target = extra_edges;
     let mut added = 0;
     let mut attempts = 0;
     let budget = 20 * target + 100;
@@ -426,6 +429,9 @@ mod tests {
     fn random_connected_sparse_caps_extra_edges_at_complete_graph() {
         let g = random_connected_sparse(5, 1000, 3);
         assert_eq!(g.num_edges(), 10);
+        // Even usize::MAX must clamp instead of overflowing the capacity
+        // computation, and the clamp must not perturb the RNG stream.
+        assert_eq!(random_connected_sparse(5, usize::MAX, 3), g);
     }
 
     #[test]

@@ -168,6 +168,8 @@ pub enum ErrorKind {
     /// The election itself failed (e.g. the adversary could not be
     /// absorbed: a refusal, never a wrong answer).
     Election,
+    /// The daemon is shutting down and no longer serves requests.
+    Shutdown,
 }
 
 impl ErrorKind {
@@ -185,6 +187,7 @@ impl ErrorKind {
             ErrorKind::Infeasible => "infeasible",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Election => "election",
+            ErrorKind::Shutdown => "shutdown",
         }
     }
 }
@@ -211,11 +214,17 @@ impl RequestError {
 /// The id rendered when a line is so broken no id can be recovered.
 pub const NO_ID: &str = "null";
 
-/// Extracts the echoable id fragment from a parsed request object.
+/// Extracts the echoable id fragment from a parsed request object. Numeric
+/// ids are echoed only within the exactly-representable integer range
+/// (|id| <= 2^53); anything beyond would round through f64 and break
+/// request-response correlation, so it degrades to [`NO_ID`] instead.
 fn id_fragment(value: &Json) -> String {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
     match value.get("id") {
         Some(Json::Str(s)) => format!("\"{}\"", json::escape(s)),
-        Some(Json::Num(x)) if x.fract() == 0.0 => format!("{}", *x as i64),
+        Some(Json::Num(x)) if x.fract() == 0.0 && x.abs() <= MAX_EXACT => {
+            format!("{}", *x as i64)
+        }
         _ => NO_ID.to_string(),
     }
 }
@@ -580,6 +589,24 @@ mod tests {
         let (id, err) = parse_request("not json").expect_err("invalid");
         assert_eq!(id, NO_ID);
         assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn numeric_ids_echo_only_in_the_exact_integer_range() {
+        let req = parse_request(r#"{"id":7,"op":"ping"}"#).expect("valid");
+        assert_eq!(req.id, "7");
+        let req = parse_request(r#"{"id":-3,"op":"ping"}"#).expect("valid");
+        assert_eq!(req.id, "-3");
+        // Past 2^53 (or fractional) the id would round through f64 and
+        // mis-correlate; it degrades to null instead of echoing a lie.
+        for line in [
+            r#"{"id":9007199254740993000,"op":"ping"}"#,
+            r#"{"id":18446744073709551616,"op":"ping"}"#,
+            r#"{"id":1.5,"op":"ping"}"#,
+        ] {
+            let req = parse_request(line).expect("valid");
+            assert_eq!(req.id, NO_ID, "{line:?}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! never a panic, never a torn response.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 
@@ -87,6 +87,20 @@ fn utf8_error_line() -> String {
     )
 }
 
+/// Best-effort typed refusal for a connection accepted after shutdown was
+/// requested — a client racing the shutdown poke is answered, not silently
+/// dropped.
+fn refuse_shutting_down(stream: impl Write) {
+    let line = protocol::render_error(
+        protocol::NO_ID,
+        &RequestError::new(ErrorKind::Shutdown, "the daemon is shutting down"),
+    );
+    let mut writer = BufWriter::new(stream);
+    let _ = writer.write_all(line.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+}
+
 /// Serves one connection until EOF or shutdown. Returns whether the client
 /// requested shutdown. IO errors (disconnects mid-request) terminate the
 /// connection gracefully.
@@ -126,7 +140,19 @@ pub fn handle_connection<R: Read, W: Write>(
 /// (after all in-flight connections drain). Bind to port 0 to let the OS
 /// pick (the bound address is `listener.local_addr()`).
 pub fn serve_tcp(listener: &TcpListener, engine: &Engine, max_line: usize) -> io::Result<()> {
-    let local = listener.local_addr()?;
+    // The shutdown poke must target a connectable address: a wildcard bind
+    // (0.0.0.0 / ::) is not a portable connect destination, so it is
+    // rewritten to the matching loopback with the bound port.
+    let poke = {
+        let mut addr = listener.local_addr()?;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        addr
+    };
     std::thread::scope(|scope| {
         loop {
             let (stream, _peer) = match listener.accept() {
@@ -134,6 +160,7 @@ pub fn serve_tcp(listener: &TcpListener, engine: &Engine, max_line: usize) -> io
                 Err(_) => break,
             };
             if engine.is_shutdown() {
+                refuse_shutting_down(&stream);
                 break;
             }
             scope.spawn(move || {
@@ -141,7 +168,7 @@ pub fn serve_tcp(listener: &TcpListener, engine: &Engine, max_line: usize) -> io
                     handle_connection(&stream, &stream, engine, max_line).unwrap_or(false);
                 if shutdown {
                     // Poke the accept loop so it observes the flag.
-                    let _ = TcpStream::connect(local);
+                    let _ = TcpStream::connect(poke);
                 }
             });
         }
@@ -163,6 +190,7 @@ pub fn serve_unix(
             Err(_) => break,
         };
         if engine.is_shutdown() {
+            refuse_shutting_down(&stream);
             break;
         }
         scope.spawn(move || {
@@ -175,17 +203,41 @@ pub fn serve_unix(
     Ok(())
 }
 
-/// One-shot batch mode: read every line of `input`, execute on `workers`
-/// scoped threads (responses in input order; see
-/// [`run_batch`]), write them to `output`.
+/// One-shot batch mode: read every line of `input` with the same bounded
+/// reader the socket path uses (an over-long or non-UTF-8 line is answered
+/// with a typed error, never buffered whole or aborted on), execute on
+/// `workers` scoped threads (responses in input order; see [`run_batch`]),
+/// write them to `output`.
 pub fn run_stdin_batch(
     engine: &Engine,
-    input: impl BufRead,
+    mut input: impl BufRead,
     mut output: impl Write,
     workers: usize,
+    max_line: usize,
 ) -> io::Result<()> {
-    let lines: Vec<String> = input.lines().collect::<io::Result<_>>()?;
-    for response in run_batch(engine, &lines, workers) {
+    // Lines rejected at read time get pre-rendered responses; `None` slots
+    // are filled from `run_batch` in order.
+    let mut slots: Vec<Option<String>> = Vec::new();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        match read_line_bounded(&mut input, max_line)? {
+            Line::Eof => break,
+            Line::TooLong => slots.push(Some(oversized_line(max_line))),
+            Line::Data(bytes) => match String::from_utf8(bytes) {
+                Err(_) => slots.push(Some(utf8_error_line())),
+                Ok(line) => {
+                    slots.push(None);
+                    lines.push(line);
+                }
+            },
+        }
+    }
+    let mut computed = run_batch(engine, &lines, workers).into_iter();
+    for slot in slots {
+        let response = match slot {
+            Some(pre) => pre,
+            None => computed.next().unwrap_or_default(),
+        };
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
     }
@@ -229,6 +281,47 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"pong\":true"));
         assert!(lines[1].contains("\"error\":\"parse\""));
+    }
+
+    #[test]
+    fn stdin_batch_bounds_line_reads_and_answers_in_order() {
+        let engine = Engine::new(EngineConfig::default());
+        let long = "x".repeat(64);
+        let input = format!("{{\"id\":\"a\",\"op\":\"ping\"}}\n{long}\n{{\"id\":\"b\",\"op\":\"ping\"}}\n");
+        let mut out: Vec<u8> = Vec::new();
+        // A tiny BufReader proves the long line is never buffered whole.
+        run_stdin_batch(
+            &engine,
+            BufReader::with_capacity(8, input.as_bytes()),
+            &mut out,
+            2,
+            32,
+        )
+        .expect("io ok");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"id\":\"a\"") && lines[0].contains("\"pong\":true"));
+        assert!(lines[1].contains("\"error\":\"oversized\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"id\":\"b\"") && lines[2].contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn post_shutdown_tcp_connects_get_a_typed_refusal() {
+        let engine = Engine::new(EngineConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Flip the flag before serving: the very next accept must answer
+        // with the typed refusal instead of silently dropping.
+        engine.execute_line("{\"op\":\"shutdown\"}");
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_tcp(&listener, &engine, 1024));
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let mut text = String::new();
+            client.read_to_string(&mut text).expect("read");
+            assert!(text.contains("\"error\":\"shutdown\""), "{text:?}");
+            server.join().expect("server thread").expect("serve ok");
+        });
     }
 
     #[test]

@@ -168,6 +168,16 @@ pub fn build(expr: &str, max_nodes: usize) -> Result<Graph, RequestError> {
             if n < 2 {
                 return Err(bad(expr, "a random graph needs n >= 2"));
             }
+            // `extra_edges` arrives as a raw u64 (the JSON 2^53 integer cap
+            // does not apply to workload expressions); reject anything past
+            // the complete graph before it can reach an allocation.
+            let max_extra = (n as u64).saturating_mul(n as u64 - 1) / 2 - (n as u64 - 1);
+            if args[1] > max_extra {
+                return Err(bad(
+                    expr,
+                    &format!("extra_edges {} exceeds the complete-graph maximum {max_extra}", args[1]),
+                ));
+            }
             Ok(generators::random_connected_sparse(
                 n,
                 args[1] as usize,
@@ -255,6 +265,16 @@ mod tests {
     fn degenerate_parameters_are_rejected_not_panicked() {
         for bad in ["ring(2)", "clique(1)", "torus(2,5)", "necklace(3,3)"] {
             assert!(build(bad, 1000).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn random_extra_edges_beyond_the_complete_graph_is_rejected() {
+        // n=20 admits 20*19/2 - 19 = 171 extra edges at most.
+        assert!(build("random(20,171,1)", 1000).is_ok());
+        for expr in ["random(20,172,1)", "random(20,9223372036854775808,1)"] {
+            let err = build(expr, 1000).expect_err(expr);
+            assert_eq!(err.kind, ErrorKind::UnknownWorkload, "{expr:?}");
         }
     }
 
