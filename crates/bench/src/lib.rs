@@ -27,6 +27,7 @@
 
 pub mod bench_elect;
 pub mod bench_json;
+pub mod bench_quotient;
 pub mod bench_service;
 pub mod experiments;
 pub mod sweep;

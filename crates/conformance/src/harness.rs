@@ -20,6 +20,11 @@
 //!   the same view-quotient size) is preserved by renumbering;
 //! * the session caches compute the expensive analysis exactly once across
 //!   the suite ([`Instance::compute_counts`]);
+//! * the quotient dimension certifies: the minimum base round-trips through
+//!   `base.lift()` onto the instance, the base-time analysis transfers back
+//!   bit-identically (report and class rows), the base size equals the
+//!   distinct-view count, and the renumbering-invariant canonical-quotient
+//!   key is identical on the renumbered copy;
 //! * every fault dimension of the [`faults`](crate::faults) analysis
 //!   behaves as certified (outcome-identical under phase skew,
 //!   degraded-but-correct under absorbable loss and crash/recovery,
@@ -73,6 +78,18 @@ pub struct InstanceReport {
     pub distinct_views: usize,
     /// The depth at which the view partition stabilized.
     pub stable_depth: usize,
+    /// Renumbering-invariant canonical-quotient dedup key (the canonical
+    /// form's hash as 16 hex digits): corpus instances sharing a key share
+    /// a minimum base up to isomorphism.
+    pub quotient_key: String,
+    /// Number of nodes of the minimum base (= the distinct-view count).
+    pub quotient_size: usize,
+    /// Fiber size of the covering projection (`n / quotient_size`).
+    pub fold: usize,
+    /// Whether the quotient dimension certified: `base.lift()` round-trips
+    /// onto this instance and every base-time result (feasibility report,
+    /// class rows) transferred back bit-identical to the direct oracle.
+    pub quotient_certified: bool,
     /// Per-scheme measurements (empty on infeasible instances).
     pub schemes: Vec<SchemeRecord>,
     /// Whether every scheme behaved identically (leader modulo the
@@ -102,6 +119,10 @@ pub struct Summary {
     pub feasible_certified: usize,
     /// Infeasible instances with zero violations (every scheme refused).
     pub infeasible_certified: usize,
+    /// Number of distinct canonical-quotient keys across the corpus (the
+    /// dedup dimension: how many genuinely different minimum bases the
+    /// corpus exercises).
+    pub distinct_quotients: usize,
     /// Total violation count across all instances.
     pub violations: usize,
 }
@@ -113,8 +134,10 @@ impl Summary {
             total: reports.len(),
             ..Summary::default()
         };
+        let mut keys = std::collections::BTreeSet::new();
         for r in reports {
             s.violations += r.violations.len();
+            keys.insert(r.quotient_key.as_str());
             if r.certified() {
                 if r.feasible {
                     s.feasible_certified += 1;
@@ -123,6 +146,7 @@ impl Summary {
                 }
             }
         }
+        s.distinct_quotients = keys.len();
         s
     }
 }
@@ -150,6 +174,69 @@ pub fn check_graph(name: &str, kind: &'static str, g: &Graph, perm_seed: u64) ->
         equivariant = false;
         violations.push(format!(
             "feasibility not invariant under renumbering: {cached:?} vs {cached_h:?}"
+        ));
+    }
+
+    // Quotient dimension: the minimum base must certify (its lift
+    // round-trips onto this exact graph) and every base-time result must
+    // transfer back bit-identical to the direct oracle already checked
+    // above. The dedup key is the canonical form's hash, which must also be
+    // invariant under the renumbering.
+    let quotient_key = format!("{:016x}", g.canonical_form().hash());
+    let mut quotient_certified = true;
+    let mut quotient_size = 0usize;
+    let mut fold = 0usize;
+    match inst.certify_quotient() {
+        Err(e) => {
+            quotient_certified = false;
+            violations.push(format!("minimum base failed to certify: {e}"));
+        }
+        Ok(()) => {
+            quotient_size = inst.quotient_size().unwrap_or(0);
+            fold = inst.quotient_fold().unwrap_or(0);
+            if quotient_size != cached.distinct_views {
+                quotient_certified = false;
+                violations.push(format!(
+                    "quotient size {quotient_size} != {} distinct views",
+                    cached.distinct_views
+                ));
+            }
+            match inst.quotient_feasibility() {
+                Ok(qr) if qr == cached => {}
+                Ok(qr) => {
+                    quotient_certified = false;
+                    violations.push(format!(
+                        "quotient-lifted report {qr:?} != direct {cached:?}"
+                    ));
+                }
+                Err(e) => {
+                    quotient_certified = false;
+                    violations.push(format!("quotient analysis failed: {e}"));
+                }
+            }
+            for depth in [0, cached.stable_depth, cached.stable_depth + 1] {
+                match inst.quotient_class_row(depth) {
+                    Ok(row) if row == inst.class_row(depth) => {}
+                    Ok(_) => {
+                        quotient_certified = false;
+                        violations.push(format!(
+                            "quotient class row at depth {depth} differs from direct"
+                        ));
+                    }
+                    Err(e) => {
+                        quotient_certified = false;
+                        violations.push(format!("quotient class row at depth {depth}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+    let key_h = format!("{:016x}", h.canonical_form().hash());
+    if key_h != quotient_key {
+        quotient_certified = false;
+        equivariant = false;
+        violations.push(format!(
+            "quotient key not invariant under renumbering: {quotient_key} vs {key_h}"
         ));
     }
 
@@ -299,6 +386,10 @@ pub fn check_graph(name: &str, kind: &'static str, g: &Graph, perm_seed: u64) ->
         diameter,
         distinct_views: cached.distinct_views,
         stable_depth: cached.stable_depth,
+        quotient_key,
+        quotient_size,
+        fold,
+        quotient_certified,
         schemes,
         equivariant,
         faults,
@@ -351,6 +442,10 @@ mod tests {
         assert_eq!(report.schemes[0].scheme, "min_time");
         assert_eq!(Some(report.schemes[0].time), report.phi);
         assert_eq!(report.faults.len(), 5, "five certified fault dimensions");
+        assert!(report.quotient_certified);
+        assert_eq!(report.quotient_size, report.n, "feasible => trivial base");
+        assert_eq!(report.fold, 1);
+        assert_eq!(report.quotient_key.len(), 16);
     }
 
     #[test]
@@ -362,6 +457,9 @@ mod tests {
         assert!(report.schemes.is_empty());
         assert!(report.equivariant);
         assert_eq!(report.distinct_views, 1);
+        assert!(report.quotient_certified);
+        assert_eq!(report.quotient_size, 1, "ring collapses to one class");
+        assert_eq!(report.fold, 6);
         assert!(report
             .faults
             .iter()
@@ -379,6 +477,14 @@ mod tests {
         assert!(summary.total >= 100, "got {}", summary.total);
         assert!(summary.feasible_certified >= 50);
         assert!(summary.infeasible_certified >= 20);
+        assert!(reports.iter().all(|r| r.quotient_certified));
+        assert!(
+            summary.distinct_quotients > 10 && summary.distinct_quotients <= summary.total,
+            "got {} distinct quotients",
+            summary.distinct_quotients
+        );
+        // The symmetric families collapse: some keys must repeat.
+        assert!(summary.distinct_quotients < summary.total);
     }
 
     #[test]

@@ -20,8 +20,9 @@ pub fn to_json(reports: &[InstanceReport]) -> String {
     out.push_str("{\n");
     out.push_str(&format!(
         "\"summary\": {{\"total\": {}, \"feasible_certified\": {}, \
-         \"infeasible_certified\": {}, \"violations\": {}}},\n",
-        s.total, s.feasible_certified, s.infeasible_certified, s.violations
+         \"infeasible_certified\": {}, \"distinct_quotients\": {}, \
+         \"violations\": {}}},\n",
+        s.total, s.feasible_certified, s.infeasible_certified, s.distinct_quotients, s.violations
     ));
     out.push_str("\"instances\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -45,6 +46,8 @@ pub fn to_json(reports: &[InstanceReport]) -> String {
             "  {{\"name\": \"{}\", \"kind\": \"{}\", \"n\": {}, \"m\": {}, \
              \"feasible\": {}, \"phi\": {}, \"diameter\": {}, \
              \"distinct_views\": {}, \"stable_depth\": {}, \
+             \"quotient_key\": \"{}\", \"quotient_size\": {}, \"fold\": {}, \
+             \"quotient_certified\": {}, \
              \"equivariant\": {}, \"violations\": {}, \"schemes\": [{}], \
              \"faults\": [{}]}}{}\n",
             escape(&r.name),
@@ -56,6 +59,10 @@ pub fn to_json(reports: &[InstanceReport]) -> String {
             r.diameter,
             r.distinct_views,
             r.stable_depth,
+            escape(&r.quotient_key),
+            r.quotient_size,
+            r.fold,
+            r.quotient_certified,
             r.equivariant,
             r.violations.len(),
             schemes.join(", "),
@@ -171,6 +178,10 @@ mod tests {
             diameter: 2,
             distinct_views: 3,
             stable_depth: 2,
+            quotient_key: "00deadbeef00f00d".into(),
+            quotient_size: 3,
+            fold: 2,
+            quotient_certified: true,
             schemes: vec![],
             equivariant: true,
             faults: vec![],
@@ -216,6 +227,11 @@ mod tests {
         let json = to_json(&[sample(), feasible]);
         assert!(json.starts_with("{\n") && json.ends_with("}\n"));
         assert!(json.contains("\"summary\": {\"total\": 2"));
+        assert!(json.contains("\"distinct_quotients\": 1"));
+        assert!(json.contains(
+            "\"quotient_key\": \"00deadbeef00f00d\", \"quotient_size\": 3, \
+             \"fold\": 2, \"quotient_certified\": true"
+        ));
         assert!(json.contains("\"phi\": null"));
         assert!(json.contains("\"phi\": 2"));
         assert!(json.contains("lift(clique\\\"3,s=0)"));

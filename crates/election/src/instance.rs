@@ -42,8 +42,10 @@
 use std::cell::{Cell, OnceCell, RefCell};
 use std::sync::Arc;
 
+use anet_graph::quotient::{MinimumBase, QuotientError};
 use anet_graph::{algo, Graph};
 use anet_sim::SharedViewArena;
+use anet_views::quotient::{analyze_base, BaseAnalysis};
 use anet_views::{
     ClassId, FeasibilityReport, RefineOptions, ShardedViewArena, ViewClasses, ViewId,
 };
@@ -69,6 +71,10 @@ pub struct ComputeCounts {
     pub levels: usize,
     /// Full `ComputeAdvice` constructions.
     pub advice: usize,
+    /// Minimum-base constructions plus their base-size refinement
+    /// ([`Instance::minimum_base`] and the other `quotient_*` accessors all
+    /// share one cached [`MinimumBase`] + `BaseAnalysis` pair).
+    pub quotient: usize,
 }
 
 /// The outcome of the refinement analysis, cached together with the table it
@@ -76,6 +82,14 @@ pub struct ComputeCounts {
 struct Analysis {
     classes: ViewClasses,
     report: FeasibilityReport,
+}
+
+/// The cached quotient fast path: the minimum base of the graph plus its
+/// base-size refinement table. All transferred results are bit-identical to
+/// the direct computation (the oracle, asserted by tests and conformance).
+struct QuotientState {
+    base: MinimumBase,
+    analysis: BaseAnalysis,
 }
 
 /// A graph wrapped with lazily-computed, memoized election analysis.
@@ -87,6 +101,7 @@ pub struct Instance {
     graph: Arc<Graph>,
     opts: RefineOptions,
     analysis: RefCell<Option<Analysis>>,
+    quotient: RefCell<Option<Result<QuotientState, QuotientError>>>,
     eccentricities: OnceCell<Vec<usize>>,
     arena: SharedViewArena,
     levels: OnceCell<Vec<Vec<ViewId>>>,
@@ -119,6 +134,7 @@ impl Instance {
             graph,
             opts,
             analysis: RefCell::new(None),
+            quotient: RefCell::new(None),
             eccentricities: OnceCell::new(),
             arena: Arc::new(ShardedViewArena::new()),
             levels: OnceCell::new(),
@@ -283,6 +299,75 @@ impl Instance {
             .as_ref()
             .map_err(Clone::clone)
     }
+
+    /// Runs `f` with the cached quotient state, building the minimum base
+    /// and its base-size analysis on first use (one canonical form, one
+    /// base-time refinement — never repeated, errors cached too).
+    fn with_quotient<R>(
+        &self,
+        f: impl FnOnce(&mut QuotientState) -> R,
+    ) -> Result<R, QuotientError> {
+        let mut slot = self.quotient.borrow_mut();
+        let state = slot.get_or_insert_with(|| {
+            self.bump(|c| c.quotient += 1);
+            MinimumBase::of(&self.graph).map(|base| {
+                let analysis = analyze_base(&base);
+                QuotientState { base, analysis }
+            })
+        });
+        match state {
+            Ok(state) => Ok(f(state)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The minimum base this graph fibers over (Boldi–Vigna), built once
+    /// from the canonical form. Its size is
+    /// [`distinct_views`](Instance::distinct_views) and `base.lift()`
+    /// reconstructs the graph up to the certified renumbering — see
+    /// [`certify_quotient`](Instance::certify_quotient).
+    pub fn minimum_base(&self) -> Result<MinimumBase, QuotientError> {
+        self.with_quotient(|s| s.base.clone())
+    }
+
+    /// Number of nodes of the minimum base (= number of stable view
+    /// classes). Strictly less than `n` exactly when the quotient fast path
+    /// runs on a smaller structure than the graph.
+    pub fn quotient_size(&self) -> Result<usize, QuotientError> {
+        self.with_quotient(|s| s.base.num_classes())
+    }
+
+    /// The fiber size `n / quotient_size` of the covering projection.
+    pub fn quotient_fold(&self) -> Result<usize, QuotientError> {
+        self.with_quotient(|s| s.base.fold())
+    }
+
+    /// The feasibility report computed **on the base** (size = quotient,
+    /// not `n`) and transferred back through the covering map. Bit-identical
+    /// to [`feasibility`](Instance::feasibility) — the direct computation
+    /// stays the oracle, and the conformance corpus certifies the equality
+    /// on every instance.
+    pub fn quotient_feasibility(&self) -> Result<FeasibilityReport, QuotientError> {
+        self.with_quotient(|s| s.analysis.report())
+    }
+
+    /// The depth-`depth` class row computed on the base and pulled back to
+    /// the graph through the covering map; bit-identical to
+    /// [`class_row`](Instance::class_row) at every depth.
+    pub fn quotient_class_row(&self, depth: usize) -> Result<Vec<ClassId>, QuotientError> {
+        self.with_quotient(|s| {
+            s.analysis.ensure_depth(s.base.dart_rows(), depth);
+            s.analysis.pullback_row(depth, s.base.colors())
+        })
+    }
+
+    /// Certifies the quotient construction against the wrapped graph:
+    /// materializes `base.lift()` and checks it is exactly the graph under
+    /// the fiber renumbering. This is the witness the conformance corpus
+    /// records per instance.
+    pub fn certify_quotient(&self) -> Result<(), QuotientError> {
+        self.with_quotient(|s| s.base.certify(&self.graph))?
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +438,33 @@ mod tests {
         // never re-ran the analysis.
         assert!(inst.compute_counts().class_deepenings <= 3);
         assert_eq!(inst.compute_counts().analysis, 1);
+    }
+
+    #[test]
+    fn quotient_fast_path_matches_the_direct_oracle() {
+        for g in [
+            generators::ring(8),
+            generators::lollipop(5, 4),
+            generators::complete_bipartite(3, 3),
+            generators::random_connected(14, 0.25, 11),
+        ] {
+            let inst = Instance::new(&g);
+            inst.certify_quotient().unwrap();
+            assert_eq!(inst.quotient_size().unwrap(), inst.distinct_views());
+            assert_eq!(
+                inst.quotient_fold().unwrap() * inst.quotient_size().unwrap(),
+                g.num_nodes()
+            );
+            assert_eq!(inst.quotient_feasibility().unwrap(), inst.feasibility());
+            for depth in [0, 1, inst.stable_depth(), inst.stable_depth() + 5] {
+                assert_eq!(
+                    inst.quotient_class_row(depth).unwrap(),
+                    inst.class_row(depth),
+                    "depth {depth}"
+                );
+            }
+            assert_eq!(inst.compute_counts().quotient, 1, "one base build");
+        }
     }
 
     #[test]

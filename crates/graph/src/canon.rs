@@ -50,7 +50,9 @@ impl CanonicalForm {
     }
 
     /// Whether leader election is feasible on the graph: every node has a
-    /// distinct view, i.e. every refinement class is a singleton.
+    /// distinct view, i.e. every refinement class is a singleton. On the
+    /// empty graph this is vacuously `true` (`0 == 0`) — there is no node
+    /// whose view collides with another's.
     pub fn is_feasible(&self) -> bool {
         self.num_classes == self.colors.len()
     }
@@ -75,7 +77,9 @@ impl CanonicalForm {
     /// On a feasible graph, the final colours form a bijection and can be
     /// used directly as a node permutation (`v -> colors[v]`) mapping the
     /// graph onto its canonical representative. Returns `None` when the
-    /// graph is infeasible (some class has two or more nodes).
+    /// graph is infeasible (some class has two or more nodes); on the empty
+    /// graph it returns `Some(&[])` (the empty permutation), consistent
+    /// with [`is_feasible`](CanonicalForm::is_feasible).
     pub fn canonical_permutation(&self) -> Option<&[NodeId]> {
         if self.is_feasible() {
             Some(&self.colors)
@@ -219,6 +223,70 @@ mod tests {
             assert!(!seen[c]);
             seen[c] = true;
         }
+    }
+
+    #[test]
+    fn empty_graph_form_is_typed_not_panicking() {
+        let g = crate::Graph::from_adjacency(vec![]).unwrap();
+        let form = g.canonical_form();
+        assert_eq!(form.num_nodes(), 0);
+        assert_eq!(form.num_classes(), 0, "zero classes, not one");
+        assert!(form.is_feasible(), "vacuously feasible");
+        assert_eq!(form.canonical_permutation(), Some(&[][..]));
+        assert_eq!(form.encoding(), &[0, 0, 0], "[n, m, C] header only");
+        // The hash is still defined (and distinct from a single node's).
+        let one = crate::Graph::from_adjacency(vec![vec![]]).unwrap();
+        assert_ne!(form.hash(), one.canonical_form().hash());
+    }
+
+    #[test]
+    fn single_node_form_is_the_trivial_bijection() {
+        let g = crate::Graph::from_adjacency(vec![vec![]]).unwrap();
+        let form = g.canonical_form();
+        assert_eq!(form.num_classes(), 1);
+        assert!(form.is_feasible());
+        assert_eq!(form.canonical_permutation(), Some(&[0][..]));
+        assert_eq!(form.encoding(), &[1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn disconnected_lifts_reach_canon_only_through_lift_components() {
+        // A voltage assignment whose holonomy is a proper subgroup: the
+        // 2-fold lift of a 2-ring... use identity voltages on a tree base so
+        // the lift splits into `fold` disjoint copies. `lift()` refuses it
+        // (Disconnected); `lift_components` yields connected pieces, each of
+        // which canonical_form handles without panicking.
+        use crate::lift::{identity_voltage, VoltageEdge, VoltageGraph};
+        let vg = VoltageGraph {
+            base_nodes: 3,
+            fold: 2,
+            edges: vec![
+                VoltageEdge {
+                    u: 0,
+                    v: 1,
+                    sigma: identity_voltage(2),
+                },
+                VoltageEdge {
+                    u: 1,
+                    v: 2,
+                    sigma: identity_voltage(2),
+                },
+            ],
+        };
+        assert!(vg.lift().is_err(), "disconnected lift must be refused");
+        let comps = vg.lift_components().unwrap();
+        assert_eq!(comps.len(), 2);
+        for comp in &comps {
+            let form = comp.canonical_form();
+            assert_eq!(form.num_nodes(), 3);
+            assert!(form.is_feasible(), "path(3) is feasible");
+            assert!(form.canonical_permutation().is_some());
+        }
+        assert_eq!(
+            comps[0].canonical_form().encoding(),
+            comps[1].canonical_form().encoding(),
+            "identical components share the canonical encoding"
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //!   session-cache key),
 //! * [`lift`] — permutation-voltage lifts (covering graphs / fibrations):
 //!   adversarial generators with controlled view quotients, used by the
-//!   `anet-conformance` corpus.
+//!   `anet-conformance` corpus,
+//! * [`quotient`] — the inverse direction: the [`MinimumBase`] every graph
+//!   fibers over (Boldi–Vigna), voltages reconstructed from the fiber
+//!   correspondence, the `base.lift()` round-trip certification witness,
+//!   and the base-time lift validators behind `report bench-quotient`.
 //!
 //! Node identifiers ([`NodeId`]) exist only *inside the simulation harness*:
 //! they are never available to the distributed algorithms themselves, which
@@ -45,6 +49,7 @@ pub mod generators;
 pub mod graph;
 pub mod lift;
 pub mod path;
+pub mod quotient;
 pub mod relabel;
 
 pub use builder::GraphBuilder;
@@ -52,3 +57,4 @@ pub use canon::CanonicalForm;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId, Port};
 pub use path::PortPath;
+pub use quotient::{MinimumBase, QuotientError};

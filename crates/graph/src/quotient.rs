@@ -1,0 +1,830 @@
+//! The quotient (fibration) engine: the **minimum base** of a port-labeled
+//! graph, with voltages reconstructed from the fiber correspondence.
+//!
+//! Boldi & Vigna (*Fibrations of graphs*) make the view quotient of
+//! Yamashita–Kameda an actual computational object: every port-labeled graph
+//! `G` fibers over a unique *minimum base* `B` — the quotient of `G` by its
+//! stable refinement partition ([`CanonicalForm`]) — and the projection
+//! `G -> B` is a genuine covering map. On a connected graph every stable
+//! class has the same size `k = n / C`: for any arc `(c, p) -> (d, q)` of
+//! the quotient, "follow port `p`" is a bijection from class `c` onto class
+//! `d` (its inverse is "follow port `q`"), so adjacent classes — and by
+//! connectivity all classes — are equinumerous. Every view-determined
+//! quantity (refinement rows, distinct-view counts, feasibility, the
+//! election index φ) is computable on `B` at size `C` instead of `n` and
+//! transfers back through the covering map; `anet-views` exploits this in
+//! its `quotient` module, and this module owns the combinatorial object.
+//!
+//! The base is a *multigraph* in general, represented with the
+//! [`VoltageGraph`] machinery of [`crate::lift`] plus two extensions the
+//! implicit arc-slot convention of [`VoltageGraph::lift_adjacency`] cannot
+//! express:
+//!
+//! * **explicit port slots**: a quotient edge remembers the original port
+//!   pair `(p, q)` of the arcs it collapsed (the implicit edges-order slot
+//!   assignment cannot realize arbitrary port pairings — e.g. the two arcs
+//!   `(c,0)–(d,1)` and `(d,0)–(c,1)` would need contradictory edge orders);
+//! * **semi-edges**: an arc `(c, p)` may be *its own* partner (the quotient
+//!   of the 2-path collapses both endpoints into one class whose single
+//!   port pairs with itself). A semi-edge carries a fixed-point-free
+//!   involution of the fiber — a fixed point would lift to a self-loop,
+//!   impossible in a simple graph.
+//!
+//! [`MinimumBase::lift`] rebuilds a concrete graph from the base, and
+//! [`MinimumBase::certify`] checks the round-trip witness: the lift must be
+//! *exactly* the input graph after renumbering node `v` to
+//! `colors[v] * fold + sheets[v]`. That equality is what certifies every
+//! transferred result — in particular the infeasibility certificates the
+//! election layer hands out for `fold >= 2`.
+//!
+//! The module also hosts the base-time analysis helpers the bench tier is
+//! built on: [`base_dart_rows`] (the port-slot structure of a voltage base,
+//! mirroring [`VoltageGraph::lift_adjacency`] exactly), [`validate_lift`]
+//! (an `O(n + m)` union-find check that a lift would be simple and
+//! connected, without materializing its adjacency), and
+//! [`connected_cyclic_lift`] (a voltage assignment whose lift is connected
+//! *by construction*: spanning-tree edges carry the identity, one designated
+//! non-tree edge the cyclic shift `+1`, so the holonomy group contains the
+//! full cyclic group on the sheets).
+
+use std::fmt;
+
+use crate::canon::CanonicalForm;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId, Port};
+use crate::lift::{cyclic_voltage, identity_voltage, VoltageEdge, VoltageGraph};
+use crate::relabel::permute_nodes;
+
+/// Errors from minimum-base construction, lift validation and round-trip
+/// certification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuotientError {
+    /// A stable class whose size differs from `n / num_classes`. This cannot
+    /// happen for the stable partition of a connected graph (see the module
+    /// docs); it is kept typed as a defensive invariant for mismatched
+    /// [`CanonicalForm`] inputs.
+    UnequalFibers {
+        /// The offending class.
+        class: usize,
+        /// Its actual size.
+        size: usize,
+        /// The expected common fiber size `n / num_classes`.
+        fold: usize,
+    },
+    /// A voltage vector is not a permutation of the sheet set.
+    BadVoltage {
+        /// Index of the offending edge in [`VoltageGraph::edges`].
+        edge: usize,
+    },
+    /// Materializing or validating the lift failed structurally (the wrapped
+    /// error reports the lift-level defect).
+    Lift(GraphError),
+    /// The certification round-trip failed: the base's lift is not the input
+    /// graph under the covering renumbering (or the supplied canonical form
+    /// does not belong to the graph).
+    NotACover,
+}
+
+impl fmt::Display for QuotientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotientError::UnequalFibers { class, size, fold } => write!(
+                f,
+                "stable class {class} has {size} nodes, expected fiber size {fold}"
+            ),
+            QuotientError::BadVoltage { edge } => {
+                write!(
+                    f,
+                    "voltage of edge {edge} is not a permutation of the sheets"
+                )
+            }
+            QuotientError::Lift(e) => write!(f, "lift is not a valid graph: {e}"),
+            QuotientError::NotACover => {
+                write!(f, "base.lift() does not round-trip to the input graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotientError {}
+
+impl From<GraphError> for QuotientError {
+    fn from(e: GraphError) -> Self {
+        QuotientError::Lift(e)
+    }
+}
+
+/// A quotient arc that is its own partner: port `port` of `class` pairs with
+/// itself, and the fiber correspondence is a fixed-point-free involution of
+/// the sheets (sheet `i` of the fiber is adjacent to sheet `pairing[i]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiEdge {
+    /// The base class carrying the semi-edge.
+    pub class: usize,
+    /// The port of the class pairing with itself.
+    pub port: Port,
+    /// The fixed-point-free involution on the fiber.
+    pub pairing: Vec<usize>,
+}
+
+/// The minimum base of a port-labeled graph: the quotient multigraph of the
+/// stable refinement partition, together with the covering map back to the
+/// input (`colors` + `sheets`) and the voltages that make
+/// [`lift`](MinimumBase::lift) reproduce the input exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimumBase {
+    fold: usize,
+    colors: Vec<usize>,
+    sheets: Vec<usize>,
+    rows: Vec<Vec<(usize, Port)>>,
+    voltages: VoltageGraph,
+    edge_ports: Vec<(Port, Port)>,
+    semi: Vec<SemiEdge>,
+}
+
+impl MinimumBase {
+    /// Computes the minimum base of `g` (one [`Graph::canonical_form`] pass
+    /// plus `O(n + m)` reconstruction).
+    pub fn of(g: &Graph) -> Result<Self, QuotientError> {
+        Self::from_form(g, &g.canonical_form())
+    }
+
+    /// Builds the minimum base from an already-computed canonical form of
+    /// `g`. The form must belong to `g`; mismatched inputs surface as
+    /// [`QuotientError::NotACover`] / [`QuotientError::UnequalFibers`]
+    /// either here or at [`certify`](MinimumBase::certify) time.
+    pub fn from_form(g: &Graph, form: &CanonicalForm) -> Result<Self, QuotientError> {
+        let n = g.num_nodes();
+        let colors = form.colors().to_vec();
+        let classes = form.num_classes();
+        if colors.len() != n || (n > 0 && classes == 0) {
+            return Err(QuotientError::NotACover);
+        }
+        if n == 0 {
+            return Ok(MinimumBase {
+                fold: 1,
+                colors,
+                sheets: Vec::new(),
+                rows: Vec::new(),
+                voltages: VoltageGraph {
+                    base_nodes: 0,
+                    fold: 1,
+                    edges: Vec::new(),
+                },
+                edge_ports: Vec::new(),
+                semi: Vec::new(),
+            });
+        }
+        let fold = n / classes;
+        // Fiber membership: nodes of each class in increasing input order;
+        // the sheet of a node is its rank within its fiber.
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); classes];
+        let mut sheets = vec![0usize; n];
+        for (v, &c) in colors.iter().enumerate() {
+            if c >= classes {
+                return Err(QuotientError::NotACover);
+            }
+            sheets[v] = members[c].len();
+            members[c].push(v);
+        }
+        for (c, fiber) in members.iter().enumerate() {
+            if fiber.len() != fold {
+                return Err(QuotientError::UnequalFibers {
+                    class: c,
+                    size: fiber.len(),
+                    fold,
+                });
+            }
+        }
+        // Quotient dart rows from one representative per class: at
+        // stability, same-class nodes have identical (target class, reverse
+        // port) rows, so any representative defines the quotient.
+        let rows: Vec<Vec<(usize, Port)>> = members
+            .iter()
+            .map(|fiber| {
+                g.neighbor_slice(fiber[0])
+                    .iter()
+                    .map(|&(u, q)| (colors[u], q))
+                    .collect()
+            })
+            .collect();
+        // Reconstruct voltages from the fiber correspondence: the voltage of
+        // the arc (c, p) sends sheet i to the sheet of the port-p neighbor
+        // of the i-th member of class c. Each undirected quotient edge is
+        // emitted once, from its lexicographically smaller arc; an arc that
+        // is its own partner is a semi-edge.
+        let mut edges: Vec<VoltageEdge> = Vec::new();
+        let mut edge_ports: Vec<(Port, Port)> = Vec::new();
+        let mut semi: Vec<SemiEdge> = Vec::new();
+        for (c, row) in rows.iter().enumerate() {
+            for (p, &(d, q)) in row.iter().enumerate() {
+                if (d, q) < (c, p) {
+                    continue; // partner arc already emitted
+                }
+                let pairing: Vec<usize> = members[c]
+                    .iter()
+                    .map(|&v| sheets[g.neighbor(v, p).0])
+                    .collect();
+                if (d, q) == (c, p) {
+                    semi.push(SemiEdge {
+                        class: c,
+                        port: p,
+                        pairing,
+                    });
+                } else {
+                    edges.push(VoltageEdge {
+                        u: c,
+                        v: d,
+                        sigma: pairing,
+                    });
+                    edge_ports.push((p, q));
+                }
+            }
+        }
+        Ok(MinimumBase {
+            fold,
+            colors,
+            sheets,
+            rows,
+            voltages: VoltageGraph {
+                base_nodes: classes,
+                fold,
+                edges,
+            },
+            edge_ports,
+            semi,
+        })
+    }
+
+    /// Number of base nodes `C` — the number of distinct infinite views of
+    /// the input graph.
+    pub fn num_classes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The common fiber size `k = n / C` (1 on the empty graph).
+    pub fn fold(&self) -> usize {
+        self.fold
+    }
+
+    /// Number of nodes of the covered (input) graph.
+    pub fn num_nodes(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// The covering map: `colors()[v]` is the base node (stable class) of
+    /// input node `v`, in [`CanonicalForm`] color order.
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// The sheet of every input node within its fiber (its rank among
+    /// same-class nodes in input order). `(colors[v], sheets[v])` identifies
+    /// `v` uniquely.
+    pub fn sheets(&self) -> &[usize] {
+        &self.sheets
+    }
+
+    /// The quotient dart rows: `dart_rows()[c][p] = (d, q)` when port `p` of
+    /// class `c` leads to class `d`, arriving on port `q`. This is the
+    /// size-`C` structure view refinement runs on (see
+    /// `anet_views::quotient`).
+    pub fn dart_rows(&self) -> &[Vec<(usize, Port)>] {
+        &self.rows
+    }
+
+    /// The genuine (non-semi) quotient edges with their reconstructed
+    /// voltages, as a [`VoltageGraph`] over the base classes.
+    pub fn voltages(&self) -> &VoltageGraph {
+        &self.voltages
+    }
+
+    /// The explicit `(port_at_u, port_at_v)` slot pair of every edge of
+    /// [`voltages`](MinimumBase::voltages), aligned by index.
+    pub fn edge_ports(&self) -> &[(Port, Port)] {
+        &self.edge_ports
+    }
+
+    /// The semi-edges of the base (arcs that are their own partner).
+    pub fn semi_edges(&self) -> &[SemiEdge] {
+        &self.semi
+    }
+
+    /// Whether the quotient is trivial (`fold == 1`): every fiber a
+    /// singleton, i.e. the input graph is feasible and the base *is* the
+    /// input up to the canonical renumbering.
+    pub fn is_trivial(&self) -> bool {
+        self.fold == 1
+    }
+
+    /// The lift-node id of base class `c`, sheet `i` — and the image of the
+    /// input node with those fiber coordinates under
+    /// [`node_permutation`](MinimumBase::node_permutation).
+    pub fn lift_node(&self, c: usize, sheet: usize) -> NodeId {
+        c * self.fold + sheet
+    }
+
+    /// The covering renumbering `v -> colors[v] * fold + sheets[v]`: a node
+    /// permutation mapping the input graph onto [`lift`](MinimumBase::lift)
+    /// output exactly.
+    pub fn node_permutation(&self) -> Vec<NodeId> {
+        (0..self.colors.len())
+            .map(|v| self.lift_node(self.colors[v], self.sheets[v]))
+            .collect()
+    }
+
+    /// Materializes the lift of the base: `fold` sheets per class, genuine
+    /// edges wired through their voltages at their explicit port slots,
+    /// semi-edges through their involutions. On a base built by
+    /// [`from_form`](MinimumBase::from_form) this reproduces the input graph
+    /// under [`node_permutation`](MinimumBase::node_permutation) — the
+    /// round-trip [`certify`](MinimumBase::certify) checks.
+    pub fn lift(&self) -> Result<Graph, GraphError> {
+        let k = self.fold;
+        let classes = self.rows.len();
+        let mut adj: Vec<Vec<(NodeId, Port)>> = (0..classes * k)
+            .map(|v| vec![(usize::MAX, usize::MAX); self.rows[v / k].len()])
+            .collect();
+        for (e, &(pu, pv)) in self.voltages.edges.iter().zip(&self.edge_ports) {
+            for i in 0..k {
+                let a = e.u * k + i;
+                let b = e.v * k + e.sigma[i];
+                adj[a][pu] = (b, pv);
+                adj[b][pv] = (a, pu);
+            }
+        }
+        for s in &self.semi {
+            for (i, &j) in s.pairing.iter().enumerate() {
+                adj[s.class * k + i][s.port] = (s.class * k + j, s.port);
+            }
+        }
+        Graph::from_adjacency(adj)
+    }
+
+    /// The certification witness: lifts the base and checks exact equality
+    /// with the input graph renumbered by
+    /// [`node_permutation`](MinimumBase::node_permutation). `Ok(())` proves
+    /// the base is a genuine quotient of `g`, which is what certifies every
+    /// result transferred through the covering map (e.g. the infeasibility
+    /// certificate for `fold >= 2`).
+    pub fn certify(&self, g: &Graph) -> Result<(), QuotientError> {
+        if self.colors.len() != g.num_nodes() {
+            return Err(QuotientError::NotACover);
+        }
+        let lifted = self.lift().map_err(QuotientError::Lift)?;
+        let relabeled = permute_nodes(g, &self.node_permutation());
+        if lifted == relabeled {
+            Ok(())
+        } else {
+            Err(QuotientError::NotACover)
+        }
+    }
+}
+
+/// The port-slot (dart) structure of a voltage base: `rows[b][p] = (d, q)`
+/// when arc slot `p` at base node `b` is paired with slot `q` at `d`. Slots
+/// are assigned exactly as [`VoltageGraph::lift_adjacency`] assigns lift
+/// ports (edges contribute slots in `edges` order; a self-loop contributes
+/// two consecutive slots, outgoing then incoming), and they do not depend on
+/// the voltages — this is the size-`C` structure base-time view refinement
+/// runs on.
+pub fn base_dart_rows(vg: &VoltageGraph) -> Vec<Vec<(usize, Port)>> {
+    let mut degree = vec![0usize; vg.base_nodes];
+    let mut slots: Vec<(Port, Port)> = Vec::with_capacity(vg.edges.len());
+    for e in &vg.edges {
+        let pu = degree[e.u];
+        degree[e.u] += 1;
+        let pv = degree[e.v];
+        degree[e.v] += 1;
+        slots.push((pu, pv));
+    }
+    let mut rows: Vec<Vec<(usize, Port)>> = degree
+        .iter()
+        .map(|&d| vec![(usize::MAX, usize::MAX); d])
+        .collect();
+    for (e, &(pu, pv)) in vg.edges.iter().zip(&slots) {
+        rows[e.u][pu] = (e.v, pv);
+        rows[e.v][pv] = (e.u, pu);
+    }
+    rows
+}
+
+/// Checks that [`VoltageGraph::lift`] would produce a valid simple connected
+/// graph, *without materializing the lift's adjacency*: voltages must be
+/// permutations, base self-loops must have fixed-point-free, 2-cycle-free
+/// voltages (a fixed point lifts to a self-loop, a 2-cycle to a parallel
+/// pair), parallel base edges must never agree on a sheet, and the sheeted
+/// union-find over the lift edges must end with one component. `O(n + m)`
+/// time in the lift's size with tiny constants (no refinement, no sorting of
+/// adjacency, no `Graph` validation walk); the error variant on failure may
+/// differ from the one [`VoltageGraph::lift`] itself would report.
+pub fn validate_lift(vg: &VoltageGraph) -> Result<(), QuotientError> {
+    let k = vg.fold;
+    for (idx, e) in vg.edges.iter().enumerate() {
+        if e.u >= vg.base_nodes || e.v >= vg.base_nodes {
+            return Err(QuotientError::Lift(GraphError::NodeOutOfRange {
+                node: e.u.max(e.v),
+                n: vg.base_nodes,
+            }));
+        }
+        if e.sigma.len() != k {
+            return Err(QuotientError::BadVoltage { edge: idx });
+        }
+        let mut seen = vec![false; k];
+        for &s in &e.sigma {
+            if s >= k || seen[s] {
+                return Err(QuotientError::BadVoltage { edge: idx });
+            }
+            seen[s] = true;
+        }
+        if e.u == e.v {
+            for (i, &s) in e.sigma.iter().enumerate() {
+                if s == i {
+                    return Err(QuotientError::Lift(GraphError::SelfLoop {
+                        node: e.u * k + i,
+                    }));
+                }
+                if e.sigma[s] == i {
+                    return Err(QuotientError::Lift(GraphError::ParallelEdge {
+                        u: e.u * k + i,
+                        v: e.u * k + s,
+                    }));
+                }
+            }
+        }
+    }
+    // Parallel base edges: two edges over the same unordered node pair must
+    // never produce the same lift edge. Group by endpoints with a sort (no
+    // hash iteration), then compare voltages oriented the same way.
+    let mut keyed: Vec<(usize, usize, usize)> = vg
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.u.min(e.v), e.u.max(e.v), i))
+        .collect();
+    keyed.sort_unstable();
+    let mut group = 0;
+    while group < keyed.len() {
+        let mut end = group + 1;
+        while end < keyed.len() && (keyed[end].0, keyed[end].1) == (keyed[group].0, keyed[group].1)
+        {
+            end += 1;
+        }
+        for a in group..end {
+            for b in a + 1..end {
+                let (ea, eb) = (&vg.edges[keyed[a].2], &vg.edges[keyed[b].2]);
+                if let Some((u, i)) = lift_edge_collision(ea, eb, k) {
+                    return Err(QuotientError::Lift(GraphError::ParallelEdge {
+                        u: u * k + i,
+                        v: keyed[a].1,
+                    }));
+                }
+            }
+        }
+        group = end;
+    }
+    // Connectivity of the lift: union-find over base_nodes * k sheeted
+    // nodes, one union per lift edge.
+    let n = vg.base_nodes * k;
+    if n == 0 {
+        return Ok(());
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut components = n;
+    for e in &vg.edges {
+        for (i, &s) in e.sigma.iter().enumerate() {
+            let (ra, rb) = (
+                find(&mut parent, e.u * k + i),
+                find(&mut parent, e.v * k + s),
+            );
+            if ra != rb {
+                parent[ra] = rb;
+                components -= 1;
+            }
+        }
+    }
+    if components > 1 {
+        return Err(QuotientError::Lift(GraphError::Disconnected));
+    }
+    Ok(())
+}
+
+/// Union-find root with path halving.
+fn find(parent: &mut [usize], mut v: usize) -> usize {
+    while parent[v] != v {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+    }
+    v
+}
+
+/// Whether two parallel base edges (same unordered endpoints) produce a
+/// common lift edge; returns the base node and sheet of a collision.
+fn lift_edge_collision(ea: &VoltageEdge, eb: &VoltageEdge, k: usize) -> Option<(usize, usize)> {
+    if ea.u == ea.v {
+        // Two self-loops at the same node: {i, σa(i)} == {j, σb(j)} iff
+        // σb agrees with σa or with its inverse somewhere.
+        for (i, &s) in ea.sigma.iter().enumerate() {
+            if eb.sigma[i] == s || eb.sigma[s] == i {
+                return Some((ea.u, i));
+            }
+        }
+        None
+    } else {
+        // Orient both u -> v (invert the one stored the other way round)
+        // and look for a sheet where they agree.
+        let mut inv = vec![0usize; k];
+        let oriented_b: &[usize] = if ea.u == eb.u {
+            &eb.sigma
+        } else {
+            for (i, &s) in eb.sigma.iter().enumerate() {
+                inv[s] = i;
+            }
+            &inv
+        };
+        for (i, &s) in ea.sigma.iter().enumerate() {
+            if oriented_b[i] == s {
+                return Some((ea.u, i));
+            }
+        }
+        None
+    }
+}
+
+/// A `fold`-lift of a simple connected base that is connected **by
+/// construction**: spanning-tree edges carry the identity voltage, the first
+/// non-tree edge the cyclic shift `+1`, and every other non-tree edge a
+/// seeded cyclic shift. Contracting the tree leaves a bouquet whose holonomy
+/// group contains the shift-by-one, hence all of `Z_fold` — the voltages act
+/// transitively on the sheets, so the lift is connected without any
+/// lift-sized check. Simplicity is automatic (the base is simple), so
+/// [`VoltageGraph::lift`] on the result always succeeds when the base has a
+/// cycle; a *tree* base admits no connected lift for `fold >= 2` and yields
+/// a disconnected assignment.
+pub fn connected_cyclic_lift(base: &Graph, fold: usize, seed: u64) -> VoltageGraph {
+    let fold = fold.max(1);
+    let n = base.num_nodes();
+    let edges: Vec<(NodeId, Port, NodeId, Port)> = base.edges().collect();
+    // BFS spanning tree; tree membership recorded per (u, v) edge index.
+    let mut edge_index = std::collections::BTreeMap::new();
+    for (i, &(u, _, v, _)) in edges.iter().enumerate() {
+        edge_index.insert((u, v), i);
+    }
+    let mut in_tree = vec![false; edges.len()];
+    let mut visited = vec![false; n];
+    if n > 0 {
+        visited[0] = true;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in base.neighbor_slice(v) {
+                if !visited[u] {
+                    visited[u] = true;
+                    if let Some(&i) = edge_index.get(&(v.min(u), v.max(u))) {
+                        in_tree[i] = true;
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    let mut non_tree_seen = 0usize;
+    let voltage_edges: Vec<VoltageEdge> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, _, v, _))| {
+            let sigma = if in_tree[i] {
+                identity_voltage(fold)
+            } else {
+                non_tree_seen += 1;
+                if non_tree_seen == 1 {
+                    cyclic_voltage(fold, 1 % fold)
+                } else {
+                    cyclic_voltage(fold, (mix64(seed ^ (i as u64)) as usize) % fold)
+                }
+            };
+            VoltageEdge { u, v, sigma }
+        })
+        .collect();
+    VoltageGraph {
+        base_nodes: n,
+        fold,
+        edges: voltage_edges,
+    }
+}
+
+/// SplitMix64 finalizer (same constants as the corpus mixers).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::lift::random_lift;
+    use crate::relabel::random_node_permutation;
+
+    #[test]
+    fn ring_collapses_to_a_one_class_base() {
+        let g = generators::ring(8);
+        let base = MinimumBase::of(&g).unwrap();
+        assert_eq!(base.num_classes(), 1);
+        assert_eq!(base.fold(), 8);
+        assert!(!base.is_trivial());
+        base.certify(&g).unwrap();
+        // One genuine self-loop edge at the single class (ports 0/1).
+        assert_eq!(base.voltages().edges.len(), 1);
+        assert!(base.semi_edges().is_empty());
+    }
+
+    #[test]
+    fn two_path_base_is_a_semi_edge() {
+        // path(2): both endpoints share one class; its single arc (0, 0)
+        // pairs with itself — representable only as a semi-edge.
+        let g = generators::path(2);
+        let base = MinimumBase::of(&g).unwrap();
+        assert_eq!(base.num_classes(), 1);
+        assert_eq!(base.fold(), 2);
+        assert!(base.voltages().edges.is_empty());
+        assert_eq!(base.semi_edges().len(), 1);
+        let s = &base.semi_edges()[0];
+        assert_eq!((s.class, s.port), (0, 0));
+        assert_eq!(s.pairing, vec![1, 0], "fixed-point-free involution");
+        base.certify(&g).unwrap();
+    }
+
+    #[test]
+    fn feasible_graphs_have_trivial_bases() {
+        let g = generators::lollipop(5, 3);
+        let base = MinimumBase::of(&g).unwrap();
+        assert!(base.is_trivial());
+        assert_eq!(base.num_classes(), g.num_nodes());
+        base.certify(&g).unwrap();
+        // The lift *is* the canonical representative.
+        let lifted = base.lift().unwrap();
+        assert_eq!(lifted, permute_nodes(&g, &base.node_permutation()));
+    }
+
+    #[test]
+    fn empty_and_single_node_bases_are_typed() {
+        let empty = Graph::from_adjacency(vec![]).unwrap();
+        let base = MinimumBase::of(&empty).unwrap();
+        assert_eq!(base.num_classes(), 0);
+        assert_eq!(base.fold(), 1);
+        base.certify(&empty).unwrap();
+        assert_eq!(base.lift().unwrap().num_nodes(), 0);
+
+        let single = Graph::from_adjacency(vec![vec![]]).unwrap();
+        let base = MinimumBase::of(&single).unwrap();
+        assert_eq!((base.num_classes(), base.fold()), (1, 1));
+        assert!(base.is_trivial());
+        base.certify(&single).unwrap();
+    }
+
+    #[test]
+    fn lifts_round_trip_through_their_bases() {
+        for (i, small) in [
+            generators::clique(4),
+            generators::ring(5),
+            generators::complete_bipartite(2, 3),
+            generators::random_connected(7, 0.4, 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for fold in [2usize, 3] {
+                let Some(g) = random_lift(small, fold, 40 + i as u64) else {
+                    continue;
+                };
+                let base = MinimumBase::of(&g).unwrap();
+                base.certify(&g).unwrap();
+                assert!(g.num_nodes() % base.num_classes() == 0);
+                assert!(
+                    base.num_classes() <= small.num_nodes(),
+                    "quotient embeds in the lift's base"
+                );
+                assert_eq!(base.fold() * base.num_classes(), g.num_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn base_is_renumbering_invariant_and_certifies_twins() {
+        let g = random_lift(&generators::clique(4), 3, 7).unwrap();
+        let base = MinimumBase::of(&g).unwrap();
+        for seed in 0..3u64 {
+            let (twin, _) = random_node_permutation(&g, 90 + seed);
+            let twin_base = MinimumBase::of(&twin).unwrap();
+            twin_base.certify(&twin).unwrap();
+            assert_eq!(twin_base.num_classes(), base.num_classes());
+            assert_eq!(twin_base.fold(), base.fold());
+            // The quotient itself is canonical: identical dart rows.
+            assert_eq!(twin_base.dart_rows(), base.dart_rows());
+        }
+    }
+
+    #[test]
+    fn certify_rejects_a_foreign_form() {
+        let g = generators::ring(6);
+        let other = generators::ring(8);
+        // A canonical form of the wrong graph must never silently certify.
+        match MinimumBase::from_form(&g, &other.canonical_form()) {
+            Err(_) => {}
+            Ok(base) => assert!(base.certify(&g).is_err()),
+        }
+    }
+
+    #[test]
+    fn base_dart_rows_mirror_lift_adjacency_slots() {
+        let base = generators::clique(4);
+        let vg = VoltageGraph::from_graph_random(&base, 3, 11);
+        let rows = base_dart_rows(&vg);
+        let adj = vg.lift_adjacency().unwrap();
+        for (v, ports) in adj.iter().enumerate() {
+            let b = v / vg.fold;
+            assert_eq!(ports.len(), rows[b].len());
+            for (p, &(u, q)) in ports.iter().enumerate() {
+                assert_eq!(rows[b][p], (u / vg.fold, q), "slot {p} at base {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_lift_agrees_with_materialization() {
+        let bases = [
+            generators::clique(4),
+            generators::ring(6),
+            generators::lollipop(4, 2),
+        ];
+        for (i, b) in bases.iter().enumerate() {
+            for fold in [2usize, 3, 4] {
+                for seed in 0..4u64 {
+                    let vg = VoltageGraph::from_graph_random(b, fold, 100 * i as u64 + seed);
+                    assert_eq!(
+                        validate_lift(&vg).is_ok(),
+                        vg.lift().is_ok(),
+                        "base {i} fold {fold} seed {seed}"
+                    );
+                }
+            }
+        }
+        // Self-loop bouquets: fixed points and 2-cycles must be rejected.
+        let loop_at = |sigma: Vec<usize>, fold| VoltageGraph {
+            base_nodes: 1,
+            fold,
+            edges: vec![VoltageEdge { u: 0, v: 0, sigma }],
+        };
+        let ident = loop_at(identity_voltage(3), 3);
+        assert_eq!(validate_lift(&ident).is_ok(), ident.lift().is_ok());
+        let swap = loop_at(vec![1, 0, 3, 2], 4); // all 2-cycles
+        assert_eq!(validate_lift(&swap).is_ok(), swap.lift().is_ok());
+        let ring = loop_at(cyclic_voltage(5, 1), 5);
+        assert_eq!(validate_lift(&ring).is_ok(), ring.lift().is_ok());
+    }
+
+    #[test]
+    fn connected_cyclic_lift_always_lifts_cyclic_bases() {
+        for base in [
+            generators::ring(6),
+            generators::clique(5),
+            generators::lollipop(4, 3),
+        ] {
+            for fold in [1usize, 2, 7, 16] {
+                let vg = connected_cyclic_lift(&base, fold, 99);
+                validate_lift(&vg).unwrap();
+                let g = vg.lift().unwrap();
+                assert_eq!(g.num_nodes(), base.num_nodes() * fold);
+                // The lift is a genuine cover: quotient size at most |base|.
+                let mb = MinimumBase::of(&g).unwrap();
+                mb.certify(&g).unwrap();
+                assert!(mb.num_classes() <= base.num_nodes());
+            }
+        }
+        // A tree base cannot have a connected 2-lift.
+        let tree = generators::path(5);
+        let vg = connected_cyclic_lift(&tree, 2, 1);
+        assert!(matches!(
+            validate_lift(&vg),
+            Err(QuotientError::Lift(GraphError::Disconnected))
+        ));
+    }
+
+    #[test]
+    fn error_display_mentions_offenders() {
+        let e = QuotientError::UnequalFibers {
+            class: 3,
+            size: 2,
+            fold: 4,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(QuotientError::BadVoltage { edge: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(QuotientError::NotACover.to_string().contains("round-trip"));
+        let wrapped: QuotientError = GraphError::Disconnected.into();
+        assert!(wrapped.to_string().contains("not connected"));
+    }
+}

@@ -287,7 +287,8 @@ mod tests {
     fn stdin_batch_bounds_line_reads_and_answers_in_order() {
         let engine = Engine::new(EngineConfig::default());
         let long = "x".repeat(64);
-        let input = format!("{{\"id\":\"a\",\"op\":\"ping\"}}\n{long}\n{{\"id\":\"b\",\"op\":\"ping\"}}\n");
+        let input =
+            format!("{{\"id\":\"a\",\"op\":\"ping\"}}\n{long}\n{{\"id\":\"b\",\"op\":\"ping\"}}\n");
         let mut out: Vec<u8> = Vec::new();
         // A tiny BufReader proves the long line is never buffered whole.
         run_stdin_batch(

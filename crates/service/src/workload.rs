@@ -175,7 +175,10 @@ pub fn build(expr: &str, max_nodes: usize) -> Result<Graph, RequestError> {
             if args[1] > max_extra {
                 return Err(bad(
                     expr,
-                    &format!("extra_edges {} exceeds the complete-graph maximum {max_extra}", args[1]),
+                    &format!(
+                        "extra_edges {} exceeds the complete-graph maximum {max_extra}",
+                        args[1]
+                    ),
                 ));
             }
             Ok(generators::random_connected_sparse(

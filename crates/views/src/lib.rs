@@ -34,6 +34,11 @@
 //! * [`election_index()`] — the election index `φ(G)`: the smallest `l` such
 //!   that the augmented truncated views at depth `l` of all nodes are
 //!   distinct (Proposition 2.1), or `None` when the graph is infeasible.
+//! * [`quotient`] — the base-time fast path: [`BaseAnalysis`] runs the exact
+//!   refinement recurrence on the minimum base (Boldi–Vigna fibrations) at
+//!   quotient size, and every row, count, φ and feasibility verdict pulls
+//!   back bit-identically to the covered graph; [`analyze_lift`] analyzes a
+//!   voltage lift without ever materializing it.
 //! * [`walks`] — walk-reachability sets (`reach_exact`, `reach_within`): the
 //!   graph nodes represented at a given depth of a view, used by the
 //!   simulator to evaluate view-based stopping conditions faithfully.
@@ -54,6 +59,7 @@
 pub mod arena;
 pub mod classes;
 pub mod election_index;
+pub mod quotient;
 pub mod refine;
 pub mod sharded;
 pub mod view;
@@ -62,6 +68,7 @@ pub mod walks;
 pub use arena::{ViewArena, ViewId};
 pub use classes::{ClassId, ViewClasses};
 pub use election_index::{election_index, election_index_naive, is_feasible, FeasibilityReport};
+pub use quotient::{analyze_base, analyze_lift, analyze_lift_unchecked, BaseAnalysis};
 pub use refine::{RefineOptions, Refiner};
 pub use sharded::ShardedViewArena;
 pub use view::AugmentedView;

@@ -10,7 +10,8 @@ use anonymous_election::advice::{codec, BitString};
 use anonymous_election::election::advice_build::compute_advice_reference;
 use anonymous_election::election::{
     compute_advice, elect_all, election_milestone, generic_elect_all, remark_elect_all,
-    AdviceScheme, ExecutionModel, Generic, Instance, Milestone, MilestoneScheme, MinTime, Remark,
+    scheme_suite, AdviceScheme, ExecutionModel, Generic, Instance, Milestone, MilestoneScheme,
+    MinTime, Remark,
 };
 use anonymous_election::graph::lift::{identity_voltage, VoltageGraph};
 use anonymous_election::graph::{algo, generators, lift, relabel};
@@ -474,6 +475,100 @@ proptest! {
                     prop_assert_eq!(&other.outputs, &base.outputs);
                     prop_assert_eq!(other.time, base.time);
                     prop_assert_eq!(&other.stats, &base.stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canon_refinement_agrees_with_the_views_engine((n, p, seed) in graph_params()) {
+        // The service cache key (canonical form) and the quotient engine
+        // both silently depend on canon.rs's hand-rolled colour refinement
+        // computing the same stable partition as the anet-views engine: the
+        // class count must equal the distinct-view count and the partitions
+        // must have identical blocks, on random graphs, renumbered twins,
+        // and voltage lifts alike.
+        let g = generators::random_connected(n, p, seed);
+        let (twin, _) = relabel::random_node_permutation(&g, seed ^ 0xABCD);
+        let mut graphs = vec![g.clone(), twin];
+        if let Some(lifted) = lift::random_lift(&g, 2, seed) {
+            graphs.push(lifted);
+        }
+        for g in &graphs {
+            let form = g.canonical_form();
+            let report = anonymous_election::views::election_index::analyze(g);
+            prop_assert_eq!(form.num_classes(), report.distinct_views);
+            prop_assert_eq!(form.is_feasible(), report.feasible);
+            let (table, stable) = ViewClasses::compute_until_stable(g);
+            let row = table.row_at(stable);
+            let colors = form.colors();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    prop_assert_eq!(colors[u] == colors[v], row[u] == row[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_transfer_is_bit_identical_across_the_scheme_suite((n, p, seed) in (4usize..12, 0.3f64..0.6, any::<u64>())) {
+        // The umbrella transfer property: everything the quotient fast path
+        // hands back — feasibility, φ, class rows, and (through the
+        // certified base.lift() witness) every scheme's advice bits, time
+        // and elected leader — is bit-identical to the direct computation,
+        // including the infeasible-refusal path, on a random base, its
+        // voltage lift, and a symmetric family member.
+        let base = generators::random_connected(n, p, seed);
+        let mut workloads = vec![base.clone()];
+        if let Some(lifted) = lift::random_lift(&base, 2, seed) {
+            workloads.push(lifted);
+        }
+        workloads.push(generators::ring(n.max(5)));
+        for g in &workloads {
+            let inst = Instance::new(g);
+            inst.certify_quotient().unwrap();
+            prop_assert_eq!(inst.quotient_feasibility().unwrap(), inst.feasibility());
+            prop_assert_eq!(inst.quotient_size().unwrap(), inst.distinct_views());
+            prop_assert_eq!(
+                inst.quotient_size().unwrap() * inst.quotient_fold().unwrap(),
+                g.num_nodes()
+            );
+            for depth in [0, inst.stable_depth(), inst.stable_depth() + 2] {
+                prop_assert_eq!(inst.quotient_class_row(depth).unwrap(), inst.class_row(depth));
+            }
+            match inst.phi() {
+                Err(_) => {
+                    // Infeasible refusal transfers: the base-time report
+                    // refuses, and every scheme of the suite refuses on the
+                    // instance itself.
+                    prop_assert!(!inst.quotient_feasibility().unwrap().feasible);
+                    for scheme in scheme_suite(1) {
+                        prop_assert!(scheme.elect(&inst).is_err(),
+                            "{} must refuse an infeasible instance", scheme.name());
+                    }
+                }
+                Ok(phi) => {
+                    prop_assert_eq!(
+                        inst.quotient_feasibility().unwrap().election_index,
+                        Some(phi)
+                    );
+                    // Feasible ⇒ the base is the graph itself (fold 1); its
+                    // lift is the certified witness — a relabeling of g —
+                    // and every scheme's outcome transfers through the
+                    // fiber permutation with identical time and advice.
+                    let mbase = inst.minimum_base().unwrap();
+                    prop_assert!(mbase.is_trivial(), "feasible => fold 1");
+                    let witness = mbase.lift().unwrap();
+                    let perm = mbase.node_permutation();
+                    let inst_w = Instance::new(&witness);
+                    for scheme in scheme_suite(phi) {
+                        let a = scheme.elect(&inst).unwrap();
+                        let b = scheme.elect(&inst_w).unwrap();
+                        prop_assert_eq!(b.leader, perm[a.leader]);
+                        prop_assert_eq!(b.time, a.time);
+                        prop_assert_eq!(b.advice_bits(), a.advice_bits());
+                        prop_assert_eq!(b.phi, a.phi);
+                    }
                 }
             }
         }
